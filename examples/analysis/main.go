@@ -1,0 +1,73 @@
+// Analysis: the workload that motivated Scalla (paper Section II-A) —
+// a batch farm of analysis jobs, each performing several metadata
+// operations on dozens of files before reading them, pushing thousands
+// of location transactions per second through the head node.
+//
+// Run with: go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"scalla"
+	"scalla/internal/client"
+	"scalla/internal/workload"
+)
+
+type placer struct{ c *scalla.Cluster }
+
+func (p placer) Servers() int { return len(p.c.Servers) }
+func (p placer) Place(i int, path string, data []byte) error {
+	return p.c.Store(i).Put(path, data)
+}
+
+func main() {
+	cl, err := scalla.StartCluster(scalla.Options{
+		Servers:    16,
+		Fanout:     8, // manager + 2 supervisors + 16 servers
+		FullDelay:  500 * time.Millisecond,
+		FastPeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Stop()
+	fmt.Printf("farm: %d servers under %d supervisors (depth %d)\n",
+		len(cl.Servers), len(cl.Supervisors), cl.Depth())
+
+	dataset, err := workload.PlaceDataset(placer{cl}, workload.DatasetConfig{
+		Files: 400, Replicas: 2, SizeBytes: 32 << 10, Seed: 2012,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d files x 32KiB, 2 replicas each\n", len(dataset))
+
+	cfg := workload.JobConfig{
+		FilesPerJob:    24, // "dozens of files per job"
+		MetaOpsPerFile: 4,  // "several meta-data operations"
+		ReadBytes:      8 << 10,
+	}
+	jobs := workload.GenerateJobs(dataset, 64, cfg, 42)
+
+	for _, conc := range []int{4, 16, 64} {
+		rn := workload.Runner{
+			NewClient:   func() *client.Client { return cl.NewClient() },
+			Concurrency: conc,
+			Cfg:         cfg,
+		}
+		st := rn.Run(jobs)
+		fmt.Printf("\n%2d concurrent jobs: %d jobs in %v\n",
+			conc, st.Jobs, st.Elapsed.Round(time.Millisecond))
+		fmt.Printf("  %8.0f location transactions/s (meta %d + open %d, errors %d)\n",
+			st.TxPerSec(), st.MetaOps, st.Opens, st.Errors)
+		fmt.Printf("  metadata latency: %v\n", st.MetaLat)
+		fmt.Printf("  open latency:     %v\n", st.OpenLat)
+	}
+
+	stats := cl.Manager.Core().Cache().Stats()
+	fmt.Printf("\nmanager cache after the run: %d entries, %d hits, %d misses\n",
+		stats.Entries, stats.Hits, stats.Misses)
+}

@@ -1,0 +1,3 @@
+module scalla
+
+go 1.24

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/transport"
+	"scalla/internal/vclock"
+)
+
+func TestGFSMasterRegisterAndLookup(t *testing.T) {
+	net := transport.NewInProc(transport.InProcConfig{})
+	m := NewGFSMaster(net, "master")
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+
+	paths := make([]string, 1000)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/store/f%04d", i)
+	}
+	frames, err := RegisterManifest(net, "master", "srvA", "srvA:data", paths, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frames < 8 {
+		t.Errorf("frames = %d, expected batched upload", frames)
+	}
+	if m.Entries() != 1000 {
+		t.Errorf("Entries = %d", m.Entries())
+	}
+	if m.ReadyServers() != 1 {
+		t.Errorf("ReadyServers = %d", m.ReadyServers())
+	}
+
+	// Replica on a second server.
+	if _, err := RegisterManifest(net, "master", "srvB", "srvB:data", paths[:10], 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Lookup(net, "master", "/store/f0005")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "srvA:data" || got[1] != "srvB:data" {
+		t.Errorf("Lookup = %v", got)
+	}
+	got, err = Lookup(net, "master", "/nope")
+	if err != nil || len(got) != 0 {
+		t.Errorf("Lookup missing = %v, %v", got, err)
+	}
+}
+
+func TestGFSMasterEmptyManifest(t *testing.T) {
+	net := transport.NewInProc(transport.InProcConfig{})
+	m := NewGFSMaster(net, "master")
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer m.Stop()
+	if _, err := RegisterManifest(net, "master", "empty", "e:data", nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadyServers() != 1 {
+		t.Error("empty server not registered")
+	}
+}
+
+func TestScanCacheLifecycle(t *testing.T) {
+	fc := vclock.NewFake()
+	c := NewScanCache(time.Hour, fc)
+	c.Add("/a", bitvec.Of(1))
+	c.Add("/b", bitvec.Of(2))
+
+	if v, ok := c.Lookup("/a"); !ok || v != bitvec.Of(1) {
+		t.Fatalf("Lookup = %v, %v", v, ok)
+	}
+	fc.Advance(2 * time.Hour)
+	if _, ok := c.Lookup("/a"); ok {
+		t.Fatal("expired entry still visible")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d before sweep", c.Len())
+	}
+	scanned, removed, _ := c.Sweep()
+	if scanned != 2 || removed != 2 {
+		t.Errorf("Sweep = %d scanned, %d removed", scanned, removed)
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after sweep", c.Len())
+	}
+}
+
+func TestScanCacheRefreshExtends(t *testing.T) {
+	fc := vclock.NewFake()
+	c := NewScanCache(time.Hour, fc)
+	c.Add("/a", bitvec.Of(1))
+	fc.Advance(30 * time.Minute)
+	c.Add("/a", bitvec.Of(1)) // refresh
+	fc.Advance(45 * time.Minute)
+	if _, ok := c.Lookup("/a"); !ok {
+		t.Error("refreshed entry expired early")
+	}
+	_, removed, _ := c.Sweep()
+	if removed != 0 {
+		t.Error("sweep removed a live entry")
+	}
+}

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"sync"
+	"time"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/vclock"
+)
+
+// ScanCache is the naive alternative to Scalla's windowed eviction
+// (experiment E7): a map-backed location cache whose eviction is a full
+// scan over every entry. The scan's cost grows with the total cache
+// size and runs under the same lock look-ups take, so eviction pauses
+// the resolution path — exactly the behaviour the sliding window was
+// designed to avoid.
+type ScanCache struct {
+	lifetime time.Duration
+	clock    vclock.Clock
+
+	mu      sync.Mutex
+	entries map[string]scanEntry
+}
+
+type scanEntry struct {
+	vh      bitvec.Vec
+	expires time.Time
+}
+
+// NewScanCache returns an empty cache with the given entry lifetime.
+func NewScanCache(lifetime time.Duration, clock vclock.Clock) *ScanCache {
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	return &ScanCache{
+		lifetime: lifetime,
+		clock:    clock,
+		entries:  make(map[string]scanEntry),
+	}
+}
+
+// Add records (or refreshes) an entry.
+func (c *ScanCache) Add(name string, vh bitvec.Vec) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	c.entries[name] = scanEntry{vh: vh, expires: now.Add(c.lifetime)}
+	c.mu.Unlock()
+}
+
+// Lookup returns the entry's holders. Expired entries are reported as
+// absent (they linger until the next sweep).
+func (c *ScanCache) Lookup(name string) (bitvec.Vec, bool) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	e, ok := c.entries[name]
+	c.mu.Unlock()
+	if !ok || now.After(e.expires) {
+		return 0, false
+	}
+	return e.vh, true
+}
+
+// Len returns the number of entries (including expired, not yet swept).
+func (c *ScanCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Sweep scans the entire cache and deletes expired entries, returning
+// how many entries it visited and removed and how long it held the
+// lock. This is the pause the benchmark compares against the windowed
+// eviction's per-tick work.
+func (c *ScanCache) Sweep() (scanned, removed int, held time.Duration) {
+	now := c.clock.Now()
+	start := time.Now() // wall time: the pause is real even on fake clocks
+	c.mu.Lock()
+	for name, e := range c.entries {
+		scanned++
+		if now.After(e.expires) {
+			delete(c.entries, name)
+			removed++
+		}
+	}
+	c.mu.Unlock()
+	return scanned, removed, time.Since(start)
+}

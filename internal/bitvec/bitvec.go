@@ -1,0 +1,146 @@
+// Package bitvec implements the 64-bit server-set vectors used throughout
+// Scalla's cluster management layer.
+//
+// Each cmsd node manages at most 64 direct subordinates (the paper's
+// "sets of 64"). A subordinate is assigned an index in [0, 64) and every
+// piece of per-file location state is a Vec whose bit i refers to
+// subordinate i. The paper names several such vectors:
+//
+//	Vh — servers that have the file
+//	Vp — servers preparing (staging) the file
+//	Vq — servers that still must be queried about the file
+//	Vm — servers eligible for a path prefix (export mask)
+//	Vc — servers that connected since a cache entry was written
+//
+// The invariant Vq ∩ (Vh ∪ Vp) = ∅ is maintained by the cache layer;
+// bitvec only provides the primitive operations.
+package bitvec
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Width is the number of addressable subordinates per cluster set.
+// The choice of 64 is fundamental to the paper's design: it bounds the
+// per-level location time and makes every set operation a single machine
+// word operation.
+const Width = 64
+
+// Vec is a set of subordinate indices encoded as a 64-bit mask.
+// The zero value is the empty set.
+type Vec uint64
+
+// Empty is the vector with no members.
+const Empty Vec = 0
+
+// Full is the vector with all 64 members present.
+const Full Vec = ^Vec(0)
+
+// Of returns a vector containing exactly the given indices.
+// Indices outside [0, Width) are ignored.
+func Of(indices ...int) Vec {
+	var v Vec
+	for _, i := range indices {
+		if i >= 0 && i < Width {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Bit returns the vector containing only index i, or Empty if i is out
+// of range.
+func Bit(i int) Vec {
+	if i < 0 || i >= Width {
+		return Empty
+	}
+	return 1 << uint(i)
+}
+
+// Has reports whether index i is a member.
+func (v Vec) Has(i int) bool {
+	if i < 0 || i >= Width {
+		return false
+	}
+	return v&(1<<uint(i)) != 0
+}
+
+// With returns v with index i added.
+func (v Vec) With(i int) Vec { return v | Bit(i) }
+
+// Without returns v with index i removed.
+func (v Vec) Without(i int) Vec { return v &^ Bit(i) }
+
+// Union returns v ∪ o.
+func (v Vec) Union(o Vec) Vec { return v | o }
+
+// Intersect returns v ∩ o.
+func (v Vec) Intersect(o Vec) Vec { return v & o }
+
+// Minus returns v \ o.
+func (v Vec) Minus(o Vec) Vec { return v &^ o }
+
+// IsEmpty reports whether the set has no members.
+func (v Vec) IsEmpty() bool { return v == 0 }
+
+// Count returns the number of members.
+func (v Vec) Count() int { return bits.OnesCount64(uint64(v)) }
+
+// First returns the lowest member index, or -1 if the set is empty.
+func (v Vec) First() int {
+	if v == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(v))
+}
+
+// Next returns the lowest member index strictly greater than i, or -1.
+// Next(-1) is equivalent to First.
+func (v Vec) Next(i int) int {
+	if i >= Width-1 {
+		return -1
+	}
+	rest := v >> uint(i+1) << uint(i+1)
+	if rest == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(rest))
+}
+
+// Indices returns the member indices in ascending order.
+func (v Vec) Indices() []int {
+	out := make([]int, 0, v.Count())
+	for i := v.First(); i >= 0; i = v.Next(i) {
+		out = append(out, i)
+	}
+	return out
+}
+
+// ForEach calls fn for each member index in ascending order.
+// It stops early if fn returns false.
+func (v Vec) ForEach(fn func(i int) bool) {
+	for i := v.First(); i >= 0; i = v.Next(i) {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+// String renders the set like "{0,3,17}". The empty set renders as "{}".
+func (v Vec) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	v.ForEach(func(i int) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(i))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,202 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfAndHas(t *testing.T) {
+	v := Of(0, 5, 63)
+	for i := 0; i < Width; i++ {
+		want := i == 0 || i == 5 || i == 63
+		if v.Has(i) != want {
+			t.Errorf("Has(%d) = %v, want %v", i, v.Has(i), want)
+		}
+	}
+}
+
+func TestOfIgnoresOutOfRange(t *testing.T) {
+	if got := Of(-1, 64, 100); got != Empty {
+		t.Errorf("Of(out-of-range) = %v, want Empty", got)
+	}
+}
+
+func TestBitOutOfRange(t *testing.T) {
+	if Bit(-1) != Empty || Bit(64) != Empty {
+		t.Error("Bit out of range must return Empty")
+	}
+	if Bit(63) != Vec(1)<<63 {
+		t.Error("Bit(63) wrong")
+	}
+}
+
+func TestHasOutOfRange(t *testing.T) {
+	if Full.Has(-1) || Full.Has(64) {
+		t.Error("Has out of range must be false")
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	v := Empty.With(7)
+	if !v.Has(7) || v.Count() != 1 {
+		t.Fatalf("With(7) = %v", v)
+	}
+	v = v.Without(7)
+	if !v.IsEmpty() {
+		t.Fatalf("Without(7) = %v", v)
+	}
+	// Removing an absent member is a no-op.
+	if Of(1).Without(2) != Of(1) {
+		t.Error("Without absent member changed the set")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a, b := Of(1, 2, 3), Of(3, 4)
+	if got := a.Union(b); got != Of(1, 2, 3, 4) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != Of(3) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != Of(1, 2) {
+		t.Errorf("Minus = %v", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	if Empty.Count() != 0 {
+		t.Error("Empty.Count != 0")
+	}
+	if Full.Count() != 64 {
+		t.Error("Full.Count != 64")
+	}
+	if Of(0, 63).Count() != 2 {
+		t.Error("Of(0,63).Count != 2")
+	}
+}
+
+func TestFirstNext(t *testing.T) {
+	if Empty.First() != -1 {
+		t.Error("Empty.First != -1")
+	}
+	v := Of(3, 17, 63)
+	if v.First() != 3 {
+		t.Errorf("First = %d", v.First())
+	}
+	if v.Next(3) != 17 {
+		t.Errorf("Next(3) = %d", v.Next(3))
+	}
+	if v.Next(17) != 63 {
+		t.Errorf("Next(17) = %d", v.Next(17))
+	}
+	if v.Next(63) != -1 {
+		t.Errorf("Next(63) = %d", v.Next(63))
+	}
+	if v.Next(-1) != v.First() {
+		t.Error("Next(-1) must equal First()")
+	}
+}
+
+func TestIndicesRoundTrip(t *testing.T) {
+	in := []int{0, 1, 31, 32, 62, 63}
+	v := Of(in...)
+	got := v.Indices()
+	if len(got) != len(in) {
+		t.Fatalf("Indices len = %d, want %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("Indices[%d] = %d, want %d", i, got[i], in[i])
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	n := 0
+	Full.ForEach(func(i int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("ForEach visited %d, want 10", n)
+	}
+}
+
+func TestString(t *testing.T) {
+	if Empty.String() != "{}" {
+		t.Errorf("Empty.String = %q", Empty.String())
+	}
+	if got := Of(0, 5).String(); got != "{0,5}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: Of(Indices(v)) == v for any v.
+func TestPropIndicesRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := Vec(raw)
+		return Of(v.Indices()...) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union/Intersect/Minus respect the usual set identities.
+func TestPropSetIdentities(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := Vec(a), Vec(b)
+		if x.Union(y) != y.Union(x) {
+			return false
+		}
+		if x.Intersect(y) != y.Intersect(x) {
+			return false
+		}
+		if x.Minus(y).Intersect(y) != Empty {
+			return false
+		}
+		if x.Minus(y).Union(x.Intersect(y)) != x {
+			return false
+		}
+		return x.Union(y).Count() == x.Count()+y.Count()-x.Intersect(y).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Count equals the number of indices visited by ForEach.
+func TestPropCountMatchesIteration(t *testing.T) {
+	f := func(raw uint64) bool {
+		v := Vec(raw)
+		n := 0
+		v.ForEach(func(int) bool { n++; return true })
+		return n == v.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIndices(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	vs := make([]Vec, 1024)
+	for i := range vs {
+		vs[i] = Vec(r.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = vs[i%len(vs)].Indices()
+	}
+}
+
+func BenchmarkForEach(b *testing.B) {
+	v := Vec(0xAAAAAAAAAAAAAAAA)
+	sum := 0
+	for i := 0; i < b.N; i++ {
+		v.ForEach(func(j int) bool { sum += j; return true })
+	}
+	_ = sum
+}

@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/vclock"
+)
+
+func benchCache(buckets int64) *Cache {
+	return New(Config{InitialBuckets: buckets, SyncSweep: true, Clock: vclock.NewFake()})
+}
+
+func benchName(i int) string {
+	return fmt.Sprintf("/store/data/Run2012A/AOD/%04d/F%08d.root", i%1000, i)
+}
+
+func BenchmarkAdd(b *testing.B) {
+	c := benchCache(17711)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(benchName(i), bitvec.Full, 0)
+	}
+}
+
+func BenchmarkFetchHit(b *testing.B) {
+	c := benchCache(17711)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		c.Add(benchName(i), bitvec.Full, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fetch(benchName(i%n), bitvec.Full, 0)
+	}
+}
+
+func BenchmarkFetchMiss(b *testing.B) {
+	c := benchCache(17711)
+	for i := 0; i < 100_000; i++ {
+		c.Add(benchName(i), bitvec.Full, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fetch(fmt.Sprintf("/absent/%d", i), bitvec.Full, 0)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	c := benchCache(17711)
+	const n = 100_000
+	refs := make([]Ref, n)
+	for i := 0; i < n; i++ {
+		refs[i], _, _ = c.Add(benchName(i), bitvec.Full, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := refs[i%n]
+		c.Update(r.Name(), r.Hash(), i%64, false, false)
+	}
+}
+
+func BenchmarkRefreshDeferred(b *testing.B) {
+	c := benchCache(17711)
+	const n = 50_000
+	refs := make([]Ref, n)
+	for i := 0; i < n; i++ {
+		refs[i], _, _ = c.Add(benchName(i), bitvec.Full, 0)
+	}
+	c.Tick()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Refresh(refs[i%n], bitvec.Full, -1)
+	}
+}
+
+func BenchmarkClaimQuery(b *testing.B) {
+	c := benchCache(17711)
+	ref, _, _ := c.Add("/f", bitvec.Full, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ClaimQuery(ref)
+	}
+}
+
+func BenchmarkCorrectionMemoHit(b *testing.B) {
+	c := benchCache(17711)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		ref, _, _ := c.Add(benchName(i), bitvec.Full, 0)
+		c.Update(benchName(i), ref.Hash(), i%32, false, false)
+	}
+	c.ServerConnected(40) // stale everything
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fetch(benchName(i%n), bitvec.Full, 0)
+	}
+}
+
+func BenchmarkParallelFetch(b *testing.B) {
+	c := benchCache(17711)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		c.Add(benchName(i), bitvec.Full, 0)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			c.Fetch(benchName(i%n), bitvec.Full, 0)
+			i++
+		}
+	})
+}

@@ -1,0 +1,596 @@
+// Package cache implements Scalla's file-location cache — the core
+// contribution of the paper (Section III).
+//
+// The cache maps file names to location objects holding three 64-bit
+// server vectors (Vh/Vp/Vq). Objects live in a one-level hash table with
+// linear chaining, keyed by CRC32 and sized to a Fibonacci number of
+// buckets (growing at 80% occupancy). Objects expire after a fixed
+// lifetime Lt enforced by a 64-slot sliding window: each tick hides one
+// window's worth of entries and a background sweep removes them, so
+// maintenance cost is spread evenly (~1.6% of the cache per tick).
+// Cached information is approximate; it is corrected lazily at fetch
+// time with the O(1) connect-epoch algorithm of Figure 3, memoized per
+// window. References returned to callers carry a generation
+// authenticator so no lock spans consecutive cache calls.
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/fib"
+	"scalla/internal/names"
+	"scalla/internal/vclock"
+)
+
+// Sizing selects the hash-table sizing policy.
+type Sizing int
+
+const (
+	// SizingFibonacci sizes the table to Fibonacci numbers of buckets —
+	// the paper's choice (Section III-A1, footnote 4).
+	SizingFibonacci Sizing = iota
+	// SizingPowerOfTwo sizes the table to powers of two. Provided only
+	// as the baseline for experiment E4; the paper found it disperses
+	// CRC32 keys much less uniformly.
+	SizingPowerOfTwo
+)
+
+// Windows is the number of eviction windows; the paper fixes it at 64
+// (lifetime Lt divided into Lt/64 ticks).
+const Windows = 64
+
+// Config parameterizes a Cache. The zero value is usable after
+// normalization; New applies the documented defaults.
+type Config struct {
+	// Lifetime is the location-object lifetime Lt. Default 8 hours.
+	Lifetime time.Duration
+	// Deadline is the processing-deadline duration (the "full delay").
+	// Default 5 seconds.
+	Deadline time.Duration
+	// InitialBuckets is the initial table size; it is rounded to the
+	// sizing policy's sequence. Default 17711 (a Fibonacci number).
+	InitialBuckets int64
+	// LoadFactor is the occupancy fraction that triggers growth.
+	// Default 0.80 (the paper's 80%).
+	LoadFactor float64
+	// Sizing selects Fibonacci (default) or power-of-two bucket counts.
+	Sizing Sizing
+	// EagerRechain, when true, re-chains a refreshed object into its new
+	// window immediately instead of deferring to the sweep. This is the
+	// ablation baseline for experiment E12; the paper argues deferral
+	// turns a quadratic-ish cost into a single linear pass.
+	EagerRechain bool
+	// SyncSweep, when true, runs the eviction sweep synchronously inside
+	// Tick instead of in a background goroutine. Used by tests and
+	// benchmarks that need determinism.
+	SyncSweep bool
+	// Clock supplies time. Default vclock.Real().
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lifetime <= 0 {
+		c.Lifetime = 8 * time.Hour
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 5 * time.Second
+	}
+	if c.InitialBuckets <= 0 {
+		c.InitialBuckets = 17711
+	}
+	if c.LoadFactor <= 0 || c.LoadFactor >= 1 {
+		c.LoadFactor = 0.80
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	return c
+}
+
+// Stats are cumulative cache statistics, used by the status endpoints and
+// by the benchmark harness.
+type Stats struct {
+	Entries     int64 // live (findable) objects
+	Buckets     int64 // current table size
+	Inserts     int64 // objects added
+	Hits        int64 // successful fetches
+	Misses      int64 // failed lookups
+	Resizes     int64 // table growths
+	Hidden      int64 // objects hidden by window ticks
+	Swept       int64 // objects physically removed by sweeps
+	Rechained   int64 // objects moved to their refreshed window by sweeps
+	Refreshes   int64 // refresh operations
+	CorrApplied int64 // Figure-3 corrections applied on fetch
+	CorrMemoHit int64 // corrections served from a window's memoized Vwc
+	Reused      int64 // allocations satisfied from the free list
+	StaleRefs   int64 // operations that failed reference authentication
+}
+
+// Cache is a file-location cache. It is safe for concurrent use.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	table   []*Loc
+	count   int64 // findable entries
+	growAt  int64
+	windows [Windows]*Loc // window chains, indexed by ta % Windows
+	tw      uint64        // absolute window-clock tick counter (paper's T_w)
+
+	// Connect-epoch state (Section III-A4).
+	nc   uint64         // master connect counter (paper's N_c)
+	conn [64]uint64     // C[i]: N_c value when subordinate i last connected
+	memo [Windows]wmemo // per-window memoized correction vectors
+
+	free *Loc // free list of removed objects (objects are never freed)
+
+	stats Stats
+
+	sweepWG sync.WaitGroup // outstanding background sweeps
+}
+
+// wmemo memoizes a correction vector for one window: for objects whose
+// Cn equals forCn, while the master counter is still atNc, the correction
+// vector is vwc (paper's Vwc/Cwn optimization).
+type wmemo struct {
+	forCn uint64
+	atNc  uint64
+	vwc   bitvec.Vec
+	valid bool
+}
+
+// New returns a Cache with the given configuration.
+func New(cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	c := &Cache{cfg: cfg}
+	size := c.roundSize(cfg.InitialBuckets)
+	c.table = make([]*Loc, size)
+	c.setGrowAt()
+	return c
+}
+
+func (c *Cache) roundSize(n int64) int64 {
+	if c.cfg.Sizing == SizingPowerOfTwo {
+		s := int64(1)
+		for s < n {
+			s <<= 1
+		}
+		return s
+	}
+	return fib.AtLeast(n)
+}
+
+func (c *Cache) nextSize() int64 {
+	n := int64(len(c.table))
+	if c.cfg.Sizing == SizingPowerOfTwo {
+		return n * 2
+	}
+	return fib.Next(n)
+}
+
+func (c *Cache) setGrowAt() {
+	c.growAt = int64(float64(len(c.table)) * c.cfg.LoadFactor)
+}
+
+// Stats returns a snapshot of the cumulative statistics.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.count
+	s.Buckets = int64(len(c.table))
+	return s
+}
+
+// Len returns the number of findable entries.
+func (c *Cache) Len() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// ---------------------------------------------------------------------
+// Connect-epoch maintenance (called by the cluster layer).
+
+// ServerConnected records that subordinate i (re)connected as a new
+// server. It advances the master counter Nc and stamps C[i], which is all
+// the bookkeeping a registration costs the cache — the paper's "extremely
+// light" node registration (Section V).
+func (c *Cache) ServerConnected(i int) {
+	if i < 0 || i >= 64 {
+		return
+	}
+	c.mu.Lock()
+	c.nc++
+	c.conn[i] = c.nc
+	c.mu.Unlock()
+}
+
+// Epoch returns the current master connect counter Nc.
+func (c *Cache) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nc
+}
+
+// ---------------------------------------------------------------------
+// Lookup / insert.
+
+// find returns the findable object with the given hash and name, or nil.
+// Caller holds c.mu.
+func (c *Cache) find(hash uint32, name string) *Loc {
+	b := int64(hash) % int64(len(c.table))
+	for l := c.table[b]; l != nil; l = l.hnext {
+		if l.keyLen > 0 && l.hash == hash && l.key == name {
+			return l
+		}
+	}
+	return nil
+}
+
+// Fetch looks up name and, if present, lazily corrects its state against
+// the current cluster configuration (Figure 3) using vm (the export mask
+// for the file's path) and offline (subordinates currently disconnected
+// but not yet dropped). It returns a validated reference and a corrected
+// snapshot.
+func (c *Cache) Fetch(name string, vm, offline bitvec.Vec) (Ref, View, bool) {
+	hash := names.Hash(name)
+	c.mu.Lock()
+	l := c.find(hash, name)
+	if l == nil {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return Ref{}, View{}, false
+	}
+	c.correct(l, vm, offline)
+	v := l.view()
+	ref := Ref{obj: l, gen: l.gen, name: name, hash: hash}
+	c.stats.Hits++
+	c.mu.Unlock()
+	return ref, v, true
+}
+
+func (l *Loc) view() View {
+	return View{Vh: l.vh, Vp: l.vp, Vq: l.vq, Deadline: l.deadline}
+}
+
+// Add inserts a location object for name with Vq = vm (every eligible
+// server must be queried) and arms its processing deadline, making the
+// caller the querying thread. If the name is already cached, Add behaves
+// like Fetch. The boolean result reports whether a new object was
+// created.
+func (c *Cache) Add(name string, vm, offline bitvec.Vec) (Ref, View, bool) {
+	hash := names.Hash(name)
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	if l := c.find(hash, name); l != nil {
+		c.correct(l, vm, offline)
+		v := l.view()
+		ref := Ref{obj: l, gen: l.gen, name: name, hash: hash}
+		c.stats.Hits++
+		c.mu.Unlock()
+		return ref, v, false
+	}
+	if c.count >= c.growAt {
+		c.grow()
+	}
+	l := c.alloc()
+	l.key = name
+	l.keyLen = len(name)
+	l.hash = hash
+	l.vh, l.vp = 0, 0
+	l.vq = vm
+	l.cn = c.nc
+	l.ta = c.tw
+	l.deadline = now.Add(c.cfg.Deadline)
+	l.rr, l.rw = 0, 0
+
+	b := int64(hash) % int64(len(c.table))
+	l.hnext = c.table[b]
+	c.table[b] = l
+	w := int(l.ta % Windows)
+	l.wnext = c.windows[w]
+	c.windows[w] = l
+	c.count++
+	c.stats.Inserts++
+	v := l.view()
+	ref := Ref{obj: l, gen: l.gen, name: name, hash: hash}
+	c.mu.Unlock()
+	return ref, v, true
+}
+
+// alloc takes an object from the free list or allocates a fresh one.
+// Caller holds c.mu.
+func (c *Cache) alloc() *Loc {
+	if l := c.free; l != nil {
+		c.free = l.hnext
+		l.hnext, l.wnext = nil, nil
+		c.stats.Reused++
+		return l
+	}
+	return &Loc{}
+}
+
+// grow resizes the table to the next size in the sizing policy's sequence
+// and redistributes every entry. Caller holds c.mu.
+func (c *Cache) grow() {
+	newSize := c.nextSize()
+	nt := make([]*Loc, newSize)
+	for _, head := range c.table {
+		for l := head; l != nil; {
+			next := l.hnext
+			if l.keyLen > 0 {
+				b := int64(l.hash) % newSize
+				l.hnext = nt[b]
+				nt[b] = l
+			} else {
+				// Hidden object awaiting sweep: keep it linked so the
+				// sweep can still unlink it, in its new bucket.
+				b := int64(l.hash) % newSize
+				l.hnext = nt[b]
+				nt[b] = l
+			}
+			l = next
+		}
+	}
+	c.table = nt
+	c.setGrowAt()
+	c.stats.Resizes++
+}
+
+// ChainLengths returns the length of every hash bucket chain. The E4
+// experiment uses it to compare key dispersion under the two sizing
+// policies.
+func (c *Cache) ChainLengths() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.table))
+	for i, head := range c.table {
+		n := 0
+		for l := head; l != nil; l = l.hnext {
+			if l.keyLen > 0 {
+				n++
+			}
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Reference-validated mutation.
+
+// valid reports whether ref still refers to the object it was issued
+// for. Caller holds c.mu.
+func (c *Cache) valid(ref Ref) bool {
+	return ref.obj != nil && ref.obj.gen == ref.gen
+}
+
+// ErrStale is reported (as ok=false) when a reference fails
+// authentication; callers fall back to a full lookup or ask the client
+// to retry (Section III-B1).
+
+// ClaimQuery atomically claims the right to query the Vq servers of the
+// referenced object: if the object's processing deadline has passed, it
+// is re-armed Deadline from now and ClaimQuery returns claimed=true.
+// Otherwise another thread is already querying and the caller must defer
+// the client (Section III-C2). ok=false means the reference was stale.
+func (c *Cache) ClaimQuery(ref Ref) (claimed, ok bool) {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid(ref) {
+		c.stats.StaleRefs++
+		return false, false
+	}
+	if now.After(ref.obj.deadline) {
+		ref.obj.deadline = now.Add(c.cfg.Deadline)
+		return true, true
+	}
+	return false, true
+}
+
+// MarkQueried clears the queried servers from Vq (resolution step 6: Vq
+// is left holding only the servers that could NOT be queried).
+func (c *Cache) MarkQueried(ref Ref, queried bitvec.Vec) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid(ref) {
+		c.stats.StaleRefs++
+		return false
+	}
+	ref.obj.vq = ref.obj.vq.Minus(queried)
+	return true
+}
+
+// UpdateResult is returned by Update; it carries the fast-response-queue
+// tokens that were associated with the object so the caller can release
+// the matching waiters. Tokens are opaque to the cache (loose coupling).
+type UpdateResult struct {
+	ReadWaiters  uint64 // R_r token, 0 if none
+	WriteWaiters uint64 // R_w token, 0 if none
+}
+
+// Update records a server's positive response for name: subordinate i has
+// the file (pending=false) or is preparing it (pending=true). The hash is
+// passed along from the original query, so no rehash occurs. If waiters
+// are associated with the object they are detached and returned; the
+// write token is returned only when canWrite is true. Update never
+// creates an object: a response for an evicted name is dropped, matching
+// the protocol's tolerance for late responses.
+func (c *Cache) Update(name string, hash uint32, i int, pending, canWrite bool) (UpdateResult, bool) {
+	var res UpdateResult
+	if i < 0 || i >= 64 {
+		return res, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.find(hash, name)
+	if l == nil {
+		return res, false
+	}
+	bit := bitvec.Bit(i)
+	if pending {
+		l.vp = l.vp.Union(bit)
+		l.vh = l.vh.Minus(bit)
+	} else {
+		l.vh = l.vh.Union(bit)
+		l.vp = l.vp.Minus(bit)
+	}
+	l.vq = l.vq.Minus(bit)
+	res.ReadWaiters, l.rr = l.rr, 0
+	if canWrite {
+		res.WriteWaiters, l.rw = l.rw, 0
+	}
+	return res, true
+}
+
+// Evict removes subordinate i from the referenced object's vectors —
+// used when a client reports that the server it was vectored to cannot
+// actually serve the file (Section III-C1).
+func (c *Cache) Evict(ref Ref, i int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid(ref) {
+		c.stats.StaleRefs++
+		return false
+	}
+	bit := bitvec.Bit(i)
+	l := ref.obj
+	l.vh = l.vh.Minus(bit)
+	l.vp = l.vp.Minus(bit)
+	l.vq = l.vq.Minus(bit)
+	return true
+}
+
+// SetWaiters associates a fast-response-queue token with the object for
+// the given access mode (write=false → R_r, write=true → R_w). It fails
+// if the reference is stale or a token is already present (the caller
+// should then join the existing queue entry instead).
+func (c *Cache) SetWaiters(ref Ref, write bool, token uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid(ref) {
+		c.stats.StaleRefs++
+		return false
+	}
+	if write {
+		if ref.obj.rw != 0 {
+			return false
+		}
+		ref.obj.rw = token
+	} else {
+		if ref.obj.rr != 0 {
+			return false
+		}
+		ref.obj.rr = token
+	}
+	return true
+}
+
+// SwapWaiters replaces the token for the given mode only if the current
+// token equals old (compare-and-swap). Callers use it to install a fresh
+// response-queue entry over a stale token without racing other threads.
+func (c *Cache) SwapWaiters(ref Ref, write bool, old, new uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid(ref) {
+		c.stats.StaleRefs++
+		return false
+	}
+	if write {
+		if ref.obj.rw != old {
+			return false
+		}
+		ref.obj.rw = new
+	} else {
+		if ref.obj.rr != old {
+			return false
+		}
+		ref.obj.rr = new
+	}
+	return true
+}
+
+// Waiters returns the current token for the given mode (0 if none).
+func (c *Cache) Waiters(ref Ref, write bool) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid(ref) {
+		c.stats.StaleRefs++
+		return 0, false
+	}
+	if write {
+		return ref.obj.rw, true
+	}
+	return ref.obj.rr, true
+}
+
+// ClearWaiters drops the token for the given mode if it matches.
+// The fast-response thread calls this when it times a queue entry out.
+func (c *Cache) ClearWaiters(ref Ref, write bool, token uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid(ref) {
+		return
+	}
+	if write {
+		if ref.obj.rw == token {
+			ref.obj.rw = 0
+		}
+	} else {
+		if ref.obj.rr == token {
+			ref.obj.rr = 0
+		}
+	}
+}
+
+// Refresh re-initializes the referenced object as if it were a brand-new
+// un-cached request (Section III-C1): every eligible server (vm, minus
+// the reported failing server if any) must be re-queried, the deadline is
+// re-armed, and Ta is updated to the current window. Per the paper's
+// deferred re-chaining optimization the object is NOT moved between
+// window chains here (unless the cache was configured with EagerRechain,
+// the E12 baseline); the next sweep of its resident chain moves it.
+// The caller becomes the querying thread.
+func (c *Cache) Refresh(ref Ref, vm bitvec.Vec, avoid int) (View, bool) {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid(ref) {
+		c.stats.StaleRefs++
+		return View{}, false
+	}
+	l := ref.obj
+	l.vh, l.vp = 0, 0
+	l.vq = vm.Minus(bitvec.Bit(avoid))
+	l.cn = c.nc
+	l.deadline = now.Add(c.cfg.Deadline)
+	oldTa := l.ta
+	l.ta = c.tw
+	c.stats.Refreshes++
+	if c.cfg.EagerRechain && oldTa%Windows != l.ta%Windows {
+		c.rechainNow(l, int(oldTa%Windows))
+	}
+	return l.view(), true
+}
+
+// rechainNow unlinks l from window chain w and links it into its current
+// chain — the eager baseline. Unlinking from a singly linked chain costs
+// a scan of that chain, which is what makes eager re-chaining
+// quadratic-ish under refresh-heavy load. Caller holds c.mu.
+func (c *Cache) rechainNow(l *Loc, w int) {
+	pp := &c.windows[w]
+	for *pp != nil && *pp != l {
+		pp = &(*pp).wnext
+	}
+	if *pp == l {
+		*pp = l.wnext
+	}
+	nw := int(l.ta % Windows)
+	l.wnext = c.windows[nw]
+	c.windows[nw] = l
+	c.stats.Rechained++
+}

@@ -1,0 +1,75 @@
+package cache
+
+import "scalla/internal/bitvec"
+
+// correct applies the Figure-3 correction equations to l, bringing its
+// cached location state up to date with the current cluster
+// configuration. It is called with c.mu held, on every fetch path.
+//
+// The correction handles the four configuration changes of Section
+// III-A4:
+//
+//  1. a disconnected (offline, not yet dropped) server: its bits are
+//     moved from Vh/Vp into Vq so it is re-queried after reconnecting;
+//  2. a dropped server: vm no longer contains it, so masking by vm
+//     erases it from every vector;
+//  3. an un-dropped server reconnecting: C[i] advanced, so Vc includes
+//     it and it returns to Vq;
+//  4. a new server: likewise included in Vc via C[i] > Cn.
+//
+// The connect vector Vc is derived from the counter array C[] — every
+// subordinate whose connect epoch is later than the object's snapshot Cn
+// — and memoized per eviction window (Vwc/Cwn), exploiting the time
+// locality of object creation so that in the common case the correction
+// is a handful of mask operations.
+func (c *Cache) correct(l *Loc, vm, offline bitvec.Vec) {
+	if l.cn != c.nc {
+		vc := c.connectVector(l)
+		// Figure 3, Eq. 1: Vq ← (Vq ∪ Vc) ∩ Vm
+		l.vq = l.vq.Union(vc).Intersect(vm)
+		// Eq. 2/3: the holders/preparers are the old values less the
+		// servers that must now be (re)queried, masked by Vm.
+		l.vh = l.vh.Minus(l.vq).Intersect(vm)
+		l.vp = l.vp.Minus(l.vq).Intersect(vm)
+		// Eq. 4: Cn ← Nc, so the next fetch corrects only if the
+		// configuration changes again.
+		l.cn = c.nc
+		c.stats.CorrApplied++
+	} else {
+		// Configuration unchanged since caching, but the export mask for
+		// this path may still be narrower than when cached.
+		l.vq = l.vq.Intersect(vm)
+		l.vh = l.vh.Intersect(vm)
+		l.vp = l.vp.Intersect(vm)
+	}
+	// Offline servers (disconnected but within the drop window) cannot
+	// serve clients now; move them to Vq so they are re-queried on a
+	// later look-up, preserving Vq ∩ (Vh ∪ Vp) = ∅.
+	off := l.vh.Union(l.vp).Intersect(offline)
+	if !off.IsEmpty() {
+		l.vq = l.vq.Union(off).Intersect(vm)
+		l.vh = l.vh.Minus(off)
+		l.vp = l.vp.Minus(off)
+	}
+}
+
+// connectVector returns Vc for object l: the set of subordinates whose
+// connect epoch C[i] is later than l's snapshot Cn. It first consults the
+// memo of l's eviction window; on a miss it scans C[] once and stores the
+// result (the paper's Vwc/Cwn optimization, Section III-A4).
+// Caller holds c.mu.
+func (c *Cache) connectVector(l *Loc) bitvec.Vec {
+	w := &c.memo[l.ta%Windows]
+	if w.valid && w.forCn == l.cn && w.atNc == c.nc {
+		c.stats.CorrMemoHit++
+		return w.vwc
+	}
+	var vc bitvec.Vec
+	for i := 0; i < 64; i++ {
+		if c.conn[i] > l.cn {
+			vc = vc.With(i)
+		}
+	}
+	w.forCn, w.atNc, w.vwc, w.valid = l.cn, c.nc, vc, true
+	return vc
+}

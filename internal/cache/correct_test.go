@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"testing"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/vclock"
+)
+
+// Case 4 of Section III-A4: a server that connects after an object was
+// cached must be added to Vq on the next fetch.
+func TestNewServerAddedToVq(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	vmOld := bitvec.Of(0, 1)
+	ref, _, _ := c.Add("/f", vmOld, 0)
+	c.Update("/f", ref.Hash(), 0, false, false)
+	c.Update("/f", ref.Hash(), 1, false, false)
+
+	// Server 2 connects and exports the file's path: Vm widens.
+	c.ServerConnected(2)
+	vmNew := bitvec.Of(0, 1, 2)
+	_, v, _ := c.Fetch("/f", vmNew, 0)
+	if !v.Vq.Has(2) {
+		t.Errorf("new server missing from Vq: %+v", v)
+	}
+	if !v.Vh.Has(0) || !v.Vh.Has(1) {
+		t.Errorf("existing holders lost: %+v", v)
+	}
+	if c.Stats().CorrApplied != 1 {
+		t.Errorf("CorrApplied = %d, want 1", c.Stats().CorrApplied)
+	}
+
+	// Second fetch with unchanged configuration: no further correction.
+	_, _, _ = c.Fetch("/f", vmNew, 0)
+	if c.Stats().CorrApplied != 1 {
+		t.Error("correction re-applied despite unchanged Nc")
+	}
+}
+
+// Case 3: an un-dropped server reconnecting is a new connect epoch; its
+// cached "have" bit may be stale (files could have changed while away),
+// so it must be re-queried.
+func TestReconnectedServerMovedBackToVq(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	vm := bitvec.Of(0, 1)
+	ref, _, _ := c.Add("/f", vm, 0)
+	c.Update("/f", ref.Hash(), 0, false, false)
+	c.Update("/f", ref.Hash(), 1, false, false)
+
+	c.ServerConnected(1) // reconnect bumps C[1] past the object's Cn
+	_, v, _ := c.Fetch("/f", vm, 0)
+	if !v.Vq.Has(1) {
+		t.Error("reconnected server not re-queried")
+	}
+	if v.Vh.Has(1) {
+		t.Error("reconnected server still trusted in Vh")
+	}
+	if !v.Vh.Has(0) {
+		t.Error("unaffected server lost from Vh")
+	}
+}
+
+// Case 2: a dropped server disappears from Vm; masking must erase it
+// from every vector.
+func TestDroppedServerMaskedOut(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	vm := bitvec.Of(0, 1)
+	ref, _, _ := c.Add("/f", vm, 0)
+	c.Update("/f", ref.Hash(), 0, false, false)
+
+	vmAfterDrop := bitvec.Of(1)
+	_, v, _ := c.Fetch("/f", vmAfterDrop, 0)
+	if v.Vh.Has(0) || v.Vq.Has(0) || v.Vp.Has(0) {
+		t.Errorf("dropped server survived masking: %+v", v)
+	}
+}
+
+// Case 1: an offline (disconnected, not dropped) server cannot serve
+// clients; its bits move from Vh/Vp to Vq.
+func TestOfflineServerMovedToVq(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	vm := bitvec.Of(0, 1)
+	ref, _, _ := c.Add("/f", vm, 0)
+	c.Update("/f", ref.Hash(), 0, false, false)
+	c.Update("/f", ref.Hash(), 1, true, false) // staging on 1
+
+	offline := bitvec.Of(0, 1)
+	_, v, _ := c.Fetch("/f", vm, offline)
+	if v.Vh.Has(0) || v.Vp.Has(1) {
+		t.Errorf("offline servers still in Vh/Vp: %+v", v)
+	}
+	if !v.Vq.Has(0) || !v.Vq.Has(1) {
+		t.Errorf("offline servers not queued for re-query: %+v", v)
+	}
+}
+
+// The Vwc/Cwn memoization: many objects cached in the same window share
+// Cn, so after one correction computes Vc the rest hit the memo.
+func TestCorrectionMemoSharedWithinWindow(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	vm := bitvec.Of(0, 1)
+	for i := 0; i < 100; i++ {
+		ref, _, _ := c.Add(name(i), vm, 0)
+		c.Update(name(i), ref.Hash(), 0, false, false)
+	}
+	c.ServerConnected(1)
+	for i := 0; i < 100; i++ {
+		c.Fetch(name(i), vm.With(1), 0)
+	}
+	st := c.Stats()
+	if st.CorrApplied != 100 {
+		t.Fatalf("CorrApplied = %d, want 100", st.CorrApplied)
+	}
+	if st.CorrMemoHit != 99 {
+		t.Errorf("CorrMemoHit = %d, want 99 (first computes, rest reuse)", st.CorrMemoHit)
+	}
+}
+
+// A second configuration change invalidates the memo (atNc mismatch).
+func TestCorrectionMemoInvalidatedByNewEpoch(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	vm := bitvec.Of(0)
+	c.Add("/a", vm, 0)
+	c.Add("/b", vm, 0)
+
+	c.ServerConnected(1)
+	c.Fetch("/a", vm.With(1), 0) // computes memo at Nc=1
+	c.ServerConnected(2)
+	c.Fetch("/b", vm.With(1).With(2), 0) // Nc=2: memo stale, recompute
+	st := c.Stats()
+	if st.CorrMemoHit != 0 {
+		t.Errorf("CorrMemoHit = %d, want 0", st.CorrMemoHit)
+	}
+	if st.CorrApplied != 2 {
+		t.Errorf("CorrApplied = %d, want 2", st.CorrApplied)
+	}
+}
+
+func name(i int) string {
+	return "/store/run/file-" + string(rune('a'+i%26)) + "-" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [20]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func TestServerConnectedIgnoresBadIndex(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	c.ServerConnected(-1)
+	c.ServerConnected(64)
+	if c.Epoch() != 0 {
+		t.Error("bad indices must not advance Nc")
+	}
+	c.ServerConnected(0)
+	if c.Epoch() != 1 {
+		t.Error("Nc not advanced")
+	}
+}

@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the cache's structure — the hash table occupancy and the
+// 64 eviction window chains — as text, the runnable counterpart of the
+// paper's Figure 2. maxLines bounds the output (0 = a sensible default).
+func (c *Cache) Dump(maxLines int) string {
+	if maxLines <= 0 {
+		maxLines = 40
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var b strings.Builder
+	occupied, hidden := 0, 0
+	maxChain := 0
+	for _, head := range c.table {
+		n := 0
+		for l := head; l != nil; l = l.hnext {
+			if l.keyLen > 0 {
+				n++
+			} else {
+				hidden++
+			}
+		}
+		if n > 0 {
+			occupied++
+		}
+		if n > maxChain {
+			maxChain = n
+		}
+	}
+	fmt.Fprintf(&b, "hash table: %d buckets (Fibonacci=%v), %d entries, %d occupied (%.1f%%), max chain %d, %d hidden awaiting sweep\n",
+		len(c.table), c.cfg.Sizing == SizingFibonacci, c.count, occupied,
+		100*float64(occupied)/float64(len(c.table)), maxChain, hidden)
+	fmt.Fprintf(&b, "window clock Tw=%d (window %d), lifetime %v, tick %v\n",
+		c.tw, c.tw%Windows, c.cfg.Lifetime, c.cfg.Lifetime/Windows)
+
+	// Histogram of the 64 window chains, the eviction window of Fig. 2.
+	var lens [Windows]int
+	maxLen := 1
+	for w := 0; w < Windows; w++ {
+		for l := c.windows[w]; l != nil; l = l.wnext {
+			lens[w]++
+		}
+		if lens[w] > maxLen {
+			maxLen = lens[w]
+		}
+	}
+	b.WriteString("eviction windows (next to expire marked '*'):\n")
+	lines := maxLines - 3
+	if lines > Windows {
+		lines = Windows
+	}
+	// Show the windows around the clock position.
+	next := int((c.tw + 1) % Windows)
+	for k := 0; k < lines; k++ {
+		w := (next + k) % Windows
+		bar := strings.Repeat("#", lens[w]*40/maxLen)
+		mark := " "
+		if w == next {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "%s w%02d |%-40s| %d\n", mark, w, bar, lens[w])
+	}
+	return b.String()
+}

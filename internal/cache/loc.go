@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"time"
+	"unsafe"
+
+	"scalla/internal/bitvec"
+)
+
+// LocSize is the in-memory footprint of one location object, excluding
+// its key string's bytes. Experiment E6 uses it to reproduce the
+// paper's memory-bound arithmetic (28.8 M objects ≈ 16 GB).
+const LocSize = unsafe.Sizeof(Loc{})
+
+// Loc is a location object (paper Section III-A1). It holds the location
+// state of one file as three 64-bit server vectors plus the bookkeeping
+// needed for lazy correction, window-based eviction, and the loosely
+// coupled fast-response queue.
+//
+// A Loc is never freed once allocated: eviction hides it (key length set
+// to zero), bumps its generation counter, and places it on a free list
+// for reuse. This guarantees that a stale Ref still points at a valid —
+// albeit possibly recycled — object, exactly as the paper prescribes.
+type Loc struct {
+	key    string // file name; findable only while keyLen > 0
+	keyLen int    // the paper's "text key length"; 0 == hidden
+	hash   uint32 // CRC32 of key
+
+	// Location state. Invariant: Vq ∩ (Vh ∪ Vp) = ∅.
+	vh bitvec.Vec // servers that have the file
+	vp bitvec.Vec // servers preparing (staging) the file
+	vq bitvec.Vec // servers that must still be queried
+
+	cn       uint64    // Nc snapshot at caching/last correction (paper's C_n)
+	ta       uint64    // absolute window counter at add/refresh (paper's T_a)
+	deadline time.Time // processing deadline (Section III-C2)
+
+	gen uint64 // reference authenticator; incremented on removal
+
+	// Fast response queue association (Section III-B). Opaque tokens
+	// owned by the respq package; 0 means "no waiters". The coupling is
+	// deliberately loose: respq may recycle a slot at any time and the
+	// stale token here is then simply ignored.
+	rr uint64 // waiters for read access (paper's R_r)
+	rw uint64 // waiters for write access (paper's R_w)
+
+	hnext *Loc // hash bucket chain (linear chaining)
+	wnext *Loc // window chain (objects added in the same window)
+}
+
+// Ref is a reference to a location object plus the authenticator that
+// validates it (Section III-B1). Refs let callers manipulate a Loc across
+// multiple cache calls without holding locks in between: each call
+// revalidates gen against the object's current generation.
+type Ref struct {
+	obj  *Loc
+	gen  uint64
+	name string
+	hash uint32
+}
+
+// Name returns the file name the reference was created for.
+func (r Ref) Name() string { return r.name }
+
+// Hash returns the CRC32 key carried with the reference. Responses pass
+// it along so the cache never rehashes a name it has already hashed
+// (the paper's "streamlined" update path).
+func (r Ref) Hash() uint32 { return r.hash }
+
+// Zero reports whether the reference is the zero value (never issued).
+func (r Ref) Zero() bool { return r.obj == nil }
+
+// View is a corrected, copied-out snapshot of a location object's state.
+// All vectors have already been masked by Vm and adjusted for offline
+// servers, so callers can act on it without further validation.
+type View struct {
+	Vh bitvec.Vec // online servers that have the file
+	Vp bitvec.Vec // servers staging the file
+	Vq bitvec.Vec // servers that still must be queried
+
+	// Deadline is the object's processing deadline. While it lies in the
+	// future some thread is (or recently was) querying the Vq servers;
+	// other threads must defer rather than issue duplicate queries.
+	Deadline time.Time
+}
+
+// HasLocation reports whether any server is known to have or be staging
+// the file.
+func (v View) HasLocation() bool { return !v.Vh.IsEmpty() || !v.Vp.IsEmpty() }
+
+// Empty reports whether nothing at all is known or pending for the file
+// (resolution step 2: candidate for "file does not exist").
+func (v View) Empty() bool {
+	return v.Vh.IsEmpty() && v.Vp.IsEmpty() && v.Vq.IsEmpty()
+}

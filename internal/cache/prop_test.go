@@ -1,0 +1,203 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/vclock"
+)
+
+// The paper's standing invariant: bits in Vq are never present in Vh or
+// Vp. This property test drives the cache through random operation
+// sequences — adds, server responses, refreshes, connect epochs, offline
+// masks, window ticks — and checks the invariant after every fetch.
+func TestPropVqDisjointFromVhVp(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := testCache(vclock.NewFake())
+		files := make([]string, 20)
+		for i := range files {
+			files[i] = fmt.Sprintf("/d/f%d", i)
+		}
+		vm := bitvec.Vec(r.Uint64() | 1) // non-empty export mask
+		for op := 0; op < 300; op++ {
+			name := files[r.Intn(len(files))]
+			switch r.Intn(10) {
+			case 0, 1, 2:
+				c.Add(name, vm, 0)
+			case 3, 4:
+				ref, _, ok := c.Fetch(name, vm, 0)
+				if ok {
+					c.Update(name, ref.Hash(), r.Intn(64), r.Intn(2) == 0, r.Intn(2) == 0)
+				}
+			case 5:
+				if ref, _, ok := c.Fetch(name, vm, 0); ok {
+					c.Refresh(ref, vm, r.Intn(65)-1)
+				}
+			case 6:
+				c.ServerConnected(r.Intn(64))
+			case 7:
+				c.Tick()
+			case 8:
+				if ref, _, ok := c.Fetch(name, vm, 0); ok {
+					c.MarkQueried(ref, bitvec.Vec(r.Uint64()))
+				}
+			case 9:
+				if ref, _, ok := c.Fetch(name, vm, 0); ok {
+					c.Evict(ref, r.Intn(64))
+				}
+			}
+			offline := bitvec.Vec(r.Uint64() & r.Uint64() & r.Uint64()) // sparse
+			_, v, ok := c.Fetch(name, vm, offline)
+			if !ok {
+				continue
+			}
+			if !v.Vq.Intersect(v.Vh.Union(v.Vp)).IsEmpty() {
+				t.Logf("invariant broken: Vq=%v Vh=%v Vp=%v", v.Vq, v.Vh, v.Vp)
+				return false
+			}
+			if !v.Vh.Union(v.Vp).Union(v.Vq).Minus(vm).IsEmpty() {
+				t.Logf("vectors escaped Vm: Vq=%v Vh=%v Vp=%v Vm=%v", v.Vq, v.Vh, v.Vp, vm)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any sequence of adds and ticks, every name added
+// within the last 63 ticks is findable and every name added at least 64
+// ticks ago is not.
+func TestPropLifetimeExact(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := testCache(vclock.NewFake())
+		type rec struct {
+			name string
+			tick uint64
+		}
+		var added []rec
+		n := 0
+		for op := 0; op < 200; op++ {
+			if r.Intn(3) == 0 {
+				c.Tick()
+			} else {
+				nm := fmt.Sprintf("/p/%d", n)
+				n++
+				c.Add(nm, bitvec.Full, 0)
+				added = append(added, rec{nm, c.TickCount()})
+			}
+		}
+		now := c.TickCount()
+		for _, a := range added {
+			_, _, ok := c.Fetch(a.name, bitvec.Full, 0)
+			expired := a.tick+Windows <= now
+			if ok == expired {
+				t.Logf("name %s added at tick %d, now %d: found=%v", a.name, a.tick, now, ok)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// corrOracle is a brute-force model of one location object's state used
+// to cross-check the memoized Figure-3 correction.
+type corrOracle struct {
+	vh, vp, vq bitvec.Vec
+	cn         uint64
+}
+
+// Property: the Figure-3 correction is equivalent to recomputing Vc by
+// brute force from the connect epochs. We run the memoized path and an
+// oracle in lockstep.
+func TestPropCorrectionMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := testCache(vclock.NewFake())
+		vm := bitvec.Full
+
+		oracles := map[string]*corrOracle{}
+		var nc uint64
+		conn := [64]uint64{}
+
+		for op := 0; op < 400; op++ {
+			name := fmt.Sprintf("/f%d", r.Intn(10))
+			switch r.Intn(6) {
+			case 0:
+				_, _, created := c.Add(name, vm, 0)
+				if created {
+					oracles[name] = &corrOracle{vq: vm, cn: nc}
+				}
+			case 1, 2:
+				if o, ok := oracles[name]; ok {
+					i := r.Intn(64)
+					pending := r.Intn(2) == 0
+					ref, _, found := c.Fetch(name, vm, 0)
+					if !found {
+						return false // oracle and cache disagree on presence
+					}
+					// Fetch corrects both sides first.
+					applyOracle(o, nc, conn, vm)
+					c.Update(name, ref.Hash(), i, pending, false)
+					b := bitvec.Bit(i)
+					if pending {
+						o.vp = o.vp.Union(b)
+						o.vh = o.vh.Minus(b)
+					} else {
+						o.vh = o.vh.Union(b)
+						o.vp = o.vp.Minus(b)
+					}
+					o.vq = o.vq.Minus(b)
+				}
+			case 3:
+				i := r.Intn(64)
+				c.ServerConnected(i)
+				nc++
+				conn[i] = nc
+			default:
+				if o, ok := oracles[name]; ok {
+					_, v, found := c.Fetch(name, vm, 0)
+					if !found {
+						return false
+					}
+					applyOracle(o, nc, conn, vm)
+					if v.Vh != o.vh || v.Vp != o.vp || v.Vq != o.vq {
+						t.Logf("divergence on %s: cache{%v %v %v} oracle{%v %v %v}",
+							name, v.Vh, v.Vp, v.Vq, o.vh, o.vp, o.vq)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func applyOracle(o *corrOracle, nc uint64, conn [64]uint64, vm bitvec.Vec) {
+	if o.cn == nc {
+		return
+	}
+	var vc bitvec.Vec
+	for i := 0; i < 64; i++ {
+		if conn[i] > o.cn {
+			vc = vc.With(i)
+		}
+	}
+	o.vq = o.vq.Union(vc).Intersect(vm)
+	o.vh = o.vh.Minus(o.vq).Intersect(vm)
+	o.vp = o.vp.Minus(o.vq).Intersect(vm)
+	o.cn = nc
+}

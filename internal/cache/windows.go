@@ -1,0 +1,145 @@
+package cache
+
+// Time-based eviction (paper Section III-A3).
+//
+// The object lifetime Lt is divided into 64 windows. A window clock Tw
+// ticks every Lt/64 (7.5 minutes at the default 8-hour lifetime). Every
+// object records the tick count at which it was added (or last
+// refreshed) as Ta. When the clock ticks, all objects added a full
+// lifetime ago — those in the expiring window chain whose Ta is at least
+// 64 ticks old — are *hidden* by zeroing their key length, which is all
+// it takes to make them unfindable. Physical removal happens in a
+// background sweep so it never interferes with look-ups; on average only
+// 1/64 ≈ 1.6% of the cache is touched per tick.
+//
+// Refreshed objects have a newer Ta but still sit in their original
+// chain (deferred re-chaining, Section III-C1). The sweep recognizes
+// them — their Ta is not old enough — and moves them to the chain their
+// Ta now belongs to, re-chaining every displaced object in one linear
+// pass.
+
+// Tick advances the window clock by one period and expires the window
+// that has now aged a full lifetime. Hiding happens synchronously (it is
+// a single pass over one chain setting key lengths to zero); physical
+// removal runs in a background goroutine unless cfg.SyncSweep is set.
+//
+// Tick is exported so tests and benchmarks can drive the clock manually;
+// production daemons call Run, which ticks off the configured clock.
+func (c *Cache) Tick() {
+	c.mu.Lock()
+	c.tw++
+	w := int(c.tw % Windows)
+	// Detach the expiring chain; new adds during the sweep start a fresh
+	// chain for this window index.
+	head := c.windows[w]
+	c.windows[w] = nil
+	cutoff := c.tw // objects with ta + Windows <= tw have aged >= Lt
+	// Hide expired entries now — after this pass none of them can be
+	// found, so the background sweep races with nothing.
+	for l := head; l != nil; l = l.wnext {
+		if l.ta+Windows <= cutoff && l.keyLen > 0 {
+			l.keyLen = 0
+			c.stats.Hidden++
+			c.count--
+		}
+	}
+	c.mu.Unlock()
+
+	if c.cfg.SyncSweep {
+		c.sweep(head, cutoff)
+		return
+	}
+	c.sweepWG.Add(1)
+	go func() {
+		defer c.sweepWG.Done()
+		c.sweep(head, cutoff)
+	}()
+}
+
+// sweep physically removes the hidden objects of a detached window chain
+// and re-chains any object whose Ta was moved by a refresh. It takes the
+// cache lock in bounded batches so look-ups are never blocked for long.
+func (c *Cache) sweep(head *Loc, cutoff uint64) {
+	const batch = 256
+	l := head
+	for l != nil {
+		c.mu.Lock()
+		for n := 0; l != nil && n < batch; n++ {
+			next := l.wnext
+			if l.ta+Windows <= cutoff {
+				// Expired: unlink from its hash bucket, invalidate
+				// references, and recycle the storage.
+				c.unhash(l)
+				l.gen++
+				l.key = ""
+				l.vh, l.vp, l.vq = 0, 0, 0
+				l.rr, l.rw = 0, 0
+				l.wnext = nil
+				l.hnext = c.free
+				c.free = l
+				c.stats.Swept++
+			} else {
+				// Refreshed since it was chained here: deferred
+				// re-chaining happens now, one pointer splice.
+				nw := int(l.ta % Windows)
+				l.wnext = c.windows[nw]
+				c.windows[nw] = l
+				c.stats.Rechained++
+			}
+			l = next
+		}
+		c.mu.Unlock()
+	}
+}
+
+// unhash unlinks l from its hash bucket. Caller holds c.mu.
+func (c *Cache) unhash(l *Loc) {
+	b := int64(l.hash) % int64(len(c.table))
+	pp := &c.table[b]
+	for *pp != nil && *pp != l {
+		pp = &(*pp).hnext
+	}
+	if *pp == l {
+		*pp = l.hnext
+	}
+}
+
+// WaitSweeps blocks until all background sweeps have completed.
+func (c *Cache) WaitSweeps() { c.sweepWG.Wait() }
+
+// Run drives the window clock from the configured vclock until stop is
+// closed: one Tick every Lifetime/64. Daemons run this in a goroutine.
+func (c *Cache) Run(stop <-chan struct{}) {
+	t := c.cfg.Clock.NewTicker(c.cfg.Lifetime / Windows)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C():
+			c.Tick()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// WindowLens returns the number of objects currently linked in each of
+// the 64 window chains — the harness uses it to show that each tick
+// touches only ~1/64 of the cache (experiment E7, Figure 2).
+func (c *Cache) WindowLens() [Windows]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out [Windows]int
+	for w := 0; w < Windows; w++ {
+		for l := c.windows[w]; l != nil; l = l.wnext {
+			out[w]++
+		}
+	}
+	return out
+}
+
+// TickCount returns the absolute window-clock tick counter.
+func (c *Cache) TickCount() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tw
+}

@@ -1,0 +1,234 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/vclock"
+)
+
+func TestObjectExpiresAfterFullLifetime(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	ref, _, _ := c.Add("/f", bitvec.Of(0), 0)
+
+	// 63 ticks: still findable.
+	for i := 0; i < 63; i++ {
+		c.Tick()
+	}
+	if _, _, ok := c.Fetch("/f", bitvec.Full, 0); !ok {
+		t.Fatal("object vanished before its lifetime elapsed")
+	}
+	// 64th tick hides and (SyncSweep) removes it.
+	c.Tick()
+	if _, _, ok := c.Fetch("/f", bitvec.Full, 0); ok {
+		t.Fatal("object survived a full lifetime")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d after expiry", c.Len())
+	}
+	st := c.Stats()
+	if st.Hidden != 1 || st.Swept != 1 {
+		t.Errorf("Hidden/Swept = %d/%d, want 1/1", st.Hidden, st.Swept)
+	}
+
+	// The reference is now stale: mutation through it must fail and be
+	// counted.
+	if ok := c.MarkQueried(ref, bitvec.Of(0)); ok {
+		t.Error("stale ref accepted")
+	}
+	if c.Stats().StaleRefs == 0 {
+		t.Error("StaleRefs not counted")
+	}
+}
+
+func TestStorageReusedNeverFreed(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	c.Add("/old", bitvec.Of(0), 0)
+	for i := 0; i < 64; i++ {
+		c.Tick()
+	}
+	// The freed object must satisfy the next allocation.
+	c.Add("/new", bitvec.Of(1), 0)
+	if got := c.Stats().Reused; got != 1 {
+		t.Errorf("Reused = %d, want 1", got)
+	}
+	if _, _, ok := c.Fetch("/new", bitvec.Full, 0); !ok {
+		t.Fatal("recycled object not findable under new name")
+	}
+	if _, _, ok := c.Fetch("/old", bitvec.Full, 0); ok {
+		t.Fatal("old name still findable after recycling")
+	}
+}
+
+func TestEachTickTouchesOnlyOneWindow(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	// Fill 64 windows with 10 objects each.
+	for w := 0; w < 64; w++ {
+		for i := 0; i < 10; i++ {
+			c.Add(fmt.Sprintf("/w%d/f%d", w, i), bitvec.Full, 0)
+		}
+		c.Tick()
+	}
+	// Adds happened in windows 0..63; after 64 ticks the window-0 batch
+	// has just expired (it aged exactly Lt).
+	if c.Len() != 63*10 {
+		t.Fatalf("Len = %d, want 630", c.Len())
+	}
+	before := c.Stats().Hidden
+	c.Tick()
+	hidden := c.Stats().Hidden - before
+	if hidden != 10 {
+		t.Errorf("tick hid %d objects, want exactly one window's 10", hidden)
+	}
+}
+
+func TestRefreshDefersRechain(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	ref, _, _ := c.Add("/f", bitvec.Of(0), 0)
+	// Advance 10 windows, then refresh: Ta moves, chain membership not.
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if _, ok := c.Refresh(ref, bitvec.Of(0), -1); !ok {
+		t.Fatal("refresh failed")
+	}
+	lens := c.WindowLens()
+	if lens[0] != 1 {
+		t.Fatalf("object left its original chain early: %v", lens)
+	}
+	if c.Stats().Rechained != 0 {
+		t.Error("rechain happened before the sweep")
+	}
+
+	// Survives the tick that would have expired its original window
+	// (54 more ticks → original window 0 expires at tick 64).
+	for i := 0; i < 54; i++ {
+		c.Tick()
+	}
+	if _, _, ok := c.Fetch("/f", bitvec.Full, 0); !ok {
+		t.Fatal("refreshed object expired with its original window")
+	}
+	if c.Stats().Rechained != 1 {
+		t.Errorf("Rechained = %d, want 1 (moved during sweep)", c.Stats().Rechained)
+	}
+	lens = c.WindowLens()
+	if lens[10] != 1 {
+		t.Errorf("object not in its refreshed window chain: %v", lens)
+	}
+
+	// And it expires 64 ticks after the refresh (tick 74 overall).
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if _, _, ok := c.Fetch("/f", bitvec.Full, 0); ok {
+		t.Fatal("refreshed object never expired")
+	}
+}
+
+func TestEagerRechainMovesImmediately(t *testing.T) {
+	c := New(Config{
+		InitialBuckets: 13,
+		SyncSweep:      true,
+		EagerRechain:   true,
+		Clock:          vclock.NewFake(),
+	})
+	ref, _, _ := c.Add("/f", bitvec.Of(0), 0)
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	c.Refresh(ref, bitvec.Of(0), -1)
+	lens := c.WindowLens()
+	if lens[0] != 0 || lens[5] != 1 {
+		t.Errorf("eager rechain did not move the object: %v", lens)
+	}
+	if c.Stats().Rechained != 1 {
+		t.Errorf("Rechained = %d, want 1", c.Stats().Rechained)
+	}
+}
+
+func TestRefreshResetsStateAndAvoidsFailingServer(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	vm := bitvec.Of(0, 1, 2)
+	ref, _, _ := c.Add("/f", vm, 0)
+	c.Update("/f", ref.Hash(), 0, false, false)
+	v, ok := c.Refresh(ref, vm, 0) // server 0 reported failing
+	if !ok {
+		t.Fatal("refresh failed")
+	}
+	if !v.Vh.IsEmpty() || !v.Vp.IsEmpty() {
+		t.Error("refresh must clear Vh/Vp")
+	}
+	if v.Vq != bitvec.Of(1, 2) {
+		t.Errorf("Vq = %v, want {1,2} (failing server avoided)", v.Vq)
+	}
+}
+
+func TestBackgroundSweepEventuallyRemoves(t *testing.T) {
+	c := New(Config{InitialBuckets: 13, SyncSweep: false, Clock: vclock.NewFake()})
+	c.Add("/f", bitvec.Of(0), 0)
+	for i := 0; i < 64; i++ {
+		c.Tick()
+	}
+	// Hidden synchronously even though sweep is async.
+	if _, _, ok := c.Fetch("/f", bitvec.Full, 0); ok {
+		t.Fatal("hidden object still findable")
+	}
+	c.WaitSweeps()
+	if got := c.Stats().Swept; got != 1 {
+		t.Errorf("Swept = %d, want 1", got)
+	}
+}
+
+func TestRunTicksOffClock(t *testing.T) {
+	fc := vclock.NewFake()
+	c := New(Config{
+		Lifetime:       64 * time.Minute, // 1-minute windows
+		InitialBuckets: 13,
+		SyncSweep:      true,
+		Clock:          fc,
+	})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		c.Run(stop)
+		close(done)
+	}()
+	fc.BlockUntil(1)
+	fc.Advance(time.Minute)
+	waitFor(t, func() bool { return c.TickCount() == 1 })
+	fc.Advance(2 * time.Minute)
+	waitFor(t, func() bool { return c.TickCount() >= 2 })
+	close(stop)
+	<-done
+}
+
+func TestDumpRendersState(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 5; i++ {
+			c.Add(fmt.Sprintf("/w%d/f%d", w, i), bitvec.Full, 0)
+		}
+		c.Tick()
+	}
+	out := c.Dump(0)
+	if !strings.Contains(out, "hash table:") || !strings.Contains(out, "eviction windows") {
+		t.Errorf("Dump = %q", out)
+	}
+	if !strings.Contains(out, "Tw=4") {
+		t.Errorf("Dump missing clock state: %q", out)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,588 @@
+// Package client implements the Scalla client library: it contacts a
+// manager (or any of its replicas), follows redirects down the tree,
+// honours wait/retry verdicts, and transparently recovers from stale
+// location information by requesting a cache refresh that names the
+// failing host (paper Sections II-B2/3 and III-C1).
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"scalla/internal/proto"
+	"scalla/internal/transport"
+	"scalla/internal/vclock"
+)
+
+// Errors reported by the client.
+var (
+	ErrNotExist = errors.New("scalla: file does not exist")
+	ErrExist    = errors.New("scalla: file already exists")
+	ErrIO       = errors.New("scalla: I/O error")
+	ErrTimeout  = errors.New("scalla: wait budget exhausted")
+	ErrNoServer = errors.New("scalla: no manager reachable")
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Net supplies transport.
+	Net transport.Network
+	// Managers are the data addresses of the (replicated) head nodes.
+	Managers []string
+	// MaxHops bounds a redirect chain. Default 8 (a 3-level tree uses 3).
+	MaxHops int
+	// WaitBudget bounds the cumulative time spent obeying Wait verdicts
+	// for a single operation. Default 30 s.
+	WaitBudget time.Duration
+	// Clock supplies time. Default vclock.Real().
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxHops <= 0 {
+		c.MaxHops = 8
+	}
+	if c.WaitBudget <= 0 {
+		c.WaitBudget = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	return c
+}
+
+// Client is a Scalla client. It is safe for concurrent use; requests to
+// the same server serialize over one shared connection.
+type Client struct {
+	cfg Config
+
+	mu    sync.Mutex
+	conns map[string]*sconn
+}
+
+// sconn serializes request/reply pairs on one connection.
+type sconn struct {
+	mu sync.Mutex
+	c  transport.Conn
+}
+
+// New returns a Client.
+func New(cfg Config) *Client {
+	return &Client{cfg: cfg.withDefaults(), conns: make(map[string]*sconn)}
+}
+
+// Close drops all cached connections.
+func (cl *Client) Close() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, sc := range cl.conns {
+		sc.c.Close()
+	}
+	cl.conns = make(map[string]*sconn)
+}
+
+func (cl *Client) conn(addr string) (*sconn, error) {
+	cl.mu.Lock()
+	sc, ok := cl.conns[addr]
+	cl.mu.Unlock()
+	if ok {
+		return sc, nil
+	}
+	c, err := cl.cfg.Net.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	if existing, ok := cl.conns[addr]; ok {
+		cl.mu.Unlock()
+		c.Close()
+		return existing, nil
+	}
+	sc = &sconn{c: c}
+	cl.conns[addr] = sc
+	cl.mu.Unlock()
+	return sc, nil
+}
+
+func (cl *Client) drop(addr string, sc *sconn) {
+	cl.mu.Lock()
+	if cl.conns[addr] == sc {
+		delete(cl.conns, addr)
+	}
+	cl.mu.Unlock()
+	sc.c.Close()
+}
+
+// rpc performs one request/reply exchange with addr, redialing once on
+// a broken cached connection.
+func (cl *Client) rpc(addr string, m proto.Message) (proto.Message, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		sc, err := cl.conn(addr)
+		if err != nil {
+			return nil, err
+		}
+		sc.mu.Lock()
+		err = sc.c.Send(proto.Marshal(m))
+		var frame []byte
+		if err == nil {
+			frame, err = sc.c.Recv()
+		}
+		sc.mu.Unlock()
+		if err != nil {
+			cl.drop(addr, sc)
+			continue
+		}
+		return proto.Unmarshal(frame)
+	}
+	return nil, fmt.Errorf("%w: %s unreachable", ErrIO, addr)
+}
+
+// walk sends m starting at a manager, following Redirects and obeying
+// Waits, until a terminal reply arrives. It returns the reply and the
+// address that produced it.
+func (cl *Client) walk(m proto.Message) (proto.Message, string, error) {
+	var lastErr error
+	for _, mgr := range cl.cfg.Managers {
+		reply, addr, err := cl.walkFrom(mgr, m)
+		if err == nil {
+			return reply, addr, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = ErrNoServer
+	}
+	return nil, "", lastErr
+}
+
+func (cl *Client) walkFrom(addr string, m proto.Message) (proto.Message, string, error) {
+	_, isLocate := m.(proto.Locate)
+	waited := time.Duration(0)
+	hops := 0
+	for {
+		reply, err := cl.rpc(addr, m)
+		if err != nil {
+			return nil, addr, err
+		}
+		switch r := reply.(type) {
+		case proto.Redirect:
+			// A redirect to a data server answers a Locate; only
+			// redirects to another redirector (CtlAddr set) are
+			// followed for location queries.
+			if isLocate && r.CtlAddr == "" {
+				return reply, addr, nil
+			}
+			hops++
+			if hops > cl.cfg.MaxHops {
+				return nil, addr, fmt.Errorf("%w: redirect chain exceeded %d hops", ErrIO, cl.cfg.MaxHops)
+			}
+			addr = r.Addr
+		case proto.Wait:
+			d := time.Duration(r.Millis) * time.Millisecond
+			if d <= 0 {
+				d = time.Millisecond
+			}
+			waited += d
+			if waited > cl.cfg.WaitBudget {
+				return nil, addr, ErrTimeout
+			}
+			cl.cfg.Clock.Sleep(d)
+		default:
+			return reply, addr, nil
+		}
+	}
+}
+
+func errFrom(e proto.Err) error {
+	switch e.Code {
+	case proto.ENoEnt:
+		return ErrNotExist
+	case proto.EExist:
+		return ErrExist
+	default:
+		return fmt.Errorf("%w: %s", ErrIO, e.Msg)
+	}
+}
+
+// Locate resolves path to a data server address without opening it.
+func (cl *Client) Locate(path string, write bool) (string, error) {
+	return cl.locate(proto.Locate{Path: path, Write: write})
+}
+
+// Relocate forces a cache refresh for path before resolving it,
+// optionally avoiding a known-bad host. Use it to discover files
+// created after the manager cached their non-existence (the timing
+// edge effects of Section III-C1).
+func (cl *Client) Relocate(path string, write bool, avoid string) (string, error) {
+	return cl.locate(proto.Locate{Path: path, Write: write, Refresh: true, Avoid: avoid})
+}
+
+func (cl *Client) locate(req proto.Locate) (string, error) {
+	reply, addr, err := cl.walk(req)
+	if err != nil {
+		return "", err
+	}
+	switch r := reply.(type) {
+	case proto.Redirect:
+		return r.Addr, nil
+	case proto.Err:
+		return "", errFrom(r)
+	default:
+		// A terminal Locate reply from a server-less walk; the last
+		// addr answered something unexpected.
+		return addr, fmt.Errorf("%w: unexpected locate reply %T", ErrIO, reply)
+	}
+}
+
+// File is an open remote file.
+type File struct {
+	cl    *Client
+	path  string
+	addr  string
+	fh    uint64
+	write bool
+	size  int64
+	off   int64 // sequential read/write cursor
+	mu    sync.Mutex
+}
+
+// Open opens path for reading.
+func (cl *Client) Open(path string) (*File, error) {
+	return cl.open(path, false, false)
+}
+
+// OpenWrite opens path for writing (the file must exist).
+func (cl *Client) OpenWrite(path string) (*File, error) {
+	return cl.open(path, true, false)
+}
+
+// Create creates path exclusively and opens it for writing. Note the
+// paper's caveat: proving non-existence costs one full delay, so bulk
+// creators should Prepare first.
+func (cl *Client) Create(path string) (*File, error) {
+	return cl.open(path, true, true)
+}
+
+func (cl *Client) open(path string, write, create bool) (*File, error) {
+	reply, addr, err := cl.walk(proto.Open{Path: path, Write: write, Create: create})
+	if err != nil {
+		return nil, err
+	}
+	switch r := reply.(type) {
+	case proto.OpenOK:
+		return &File{cl: cl, path: path, addr: addr, fh: r.FH, write: write || create, size: r.Size}, nil
+	case proto.Err:
+		return nil, errFrom(r)
+	default:
+		return nil, fmt.Errorf("%w: unexpected open reply %T", ErrIO, reply)
+	}
+}
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// Server returns the data server currently serving the file.
+func (f *File) Server() string { return f.addr }
+
+// Size returns the size reported at open time.
+func (f *File) Size() int64 { return f.size }
+
+// recover reopens the file elsewhere after addr failed to serve it: it
+// asks the manager for a cache refresh naming the failing host, then
+// reopens at the fresh location (Section III-C1).
+func (f *File) recover() error {
+	reply, addr, err := f.cl.walk(proto.Locate{Path: f.path, Write: f.write, Refresh: true, Avoid: f.addr})
+	if err != nil {
+		return err
+	}
+	rd, ok := reply.(proto.Redirect)
+	if !ok {
+		if e, isErr := reply.(proto.Err); isErr {
+			return errFrom(e)
+		}
+		return fmt.Errorf("%w: refresh did not redirect (%T)", ErrIO, reply)
+	}
+	_ = addr
+	// Open directly at the fresh holder (it may itself redirect).
+	reply, addr, err = f.cl.walkFrom(rd.Addr, proto.Open{Path: f.path, Write: f.write})
+	if err != nil {
+		return err
+	}
+	okMsg, isOK := reply.(proto.OpenOK)
+	if !isOK {
+		if e, isErr := reply.(proto.Err); isErr {
+			return errFrom(e)
+		}
+		return fmt.Errorf("%w: reopen failed (%T)", ErrIO, reply)
+	}
+	f.addr, f.fh, f.size = addr, okMsg.FH, okMsg.Size
+	return nil
+}
+
+// ReadAt implements io.ReaderAt with transparent refresh recovery.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.readAtLocked(p, off, true)
+}
+
+func (f *File) readAtLocked(p []byte, off int64, mayRecover bool) (int, error) {
+	reply, err := f.cl.rpc(f.addr, proto.Read{FH: f.fh, Off: off, N: uint32(len(p))})
+	if err == nil {
+		if w, isWait := reply.(proto.Wait); isWait {
+			f.cl.cfg.Clock.Sleep(time.Duration(w.Millis) * time.Millisecond)
+			return f.readAtLocked(p, off, mayRecover)
+		}
+	}
+	if err != nil {
+		if !mayRecover {
+			return 0, err
+		}
+		if rerr := f.recover(); rerr != nil {
+			return 0, rerr
+		}
+		return f.readAtLocked(p, off, false)
+	}
+	switch r := reply.(type) {
+	case proto.Data:
+		n := copy(p, r.Bytes)
+		if r.EOF {
+			return n, io.EOF
+		}
+		return n, nil
+	case proto.Err:
+		if mayRecover && (r.Code == proto.ENoEnt || r.Code == proto.EIO) {
+			if rerr := f.recover(); rerr != nil {
+				return 0, rerr
+			}
+			return f.readAtLocked(p, off, false)
+		}
+		return 0, errFrom(r)
+	default:
+		return 0, fmt.Errorf("%w: unexpected read reply %T", ErrIO, reply)
+	}
+}
+
+// Read implements io.Reader (sequential).
+func (f *File) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.readAtLocked(p, f.off, true)
+	f.off += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker over the sequential cursor, making File a
+// full io.ReadSeekCloser (what the Root framework expects of a file).
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		base = f.size
+	default:
+		return 0, fmt.Errorf("%w: bad whence %d", ErrIO, whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("%w: negative seek position", ErrIO)
+	}
+	f.off = pos
+	return pos, nil
+}
+
+// WriteAt implements io.WriterAt.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reply, err := f.cl.rpc(f.addr, proto.Write{FH: f.fh, Off: off, Bytes: p})
+	if err != nil {
+		return 0, err
+	}
+	switch r := reply.(type) {
+	case proto.WriteOK:
+		if end := off + int64(r.N); end > f.size {
+			f.size = end
+		}
+		return int(r.N), nil
+	case proto.Err:
+		return 0, errFrom(r)
+	default:
+		return 0, fmt.Errorf("%w: unexpected write reply %T", ErrIO, reply)
+	}
+}
+
+// Write implements io.Writer (sequential).
+func (f *File) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	off := f.off
+	f.mu.Unlock()
+	n, err := f.WriteAt(p, off)
+	f.mu.Lock()
+	f.off = off + int64(n)
+	f.mu.Unlock()
+	return n, err
+}
+
+// Truncate resizes the file (write handles only).
+func (f *File) Truncate(size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	reply, err := f.cl.rpc(f.addr, proto.Trunc{FH: f.fh, Size: size})
+	if err != nil {
+		return err
+	}
+	switch r := reply.(type) {
+	case proto.TruncOK:
+		f.size = size
+		return nil
+	case proto.Err:
+		return errFrom(r)
+	default:
+		return fmt.Errorf("%w: unexpected truncate reply %T", ErrIO, reply)
+	}
+}
+
+// Close releases the remote handle.
+func (f *File) Close() error {
+	reply, err := f.cl.rpc(f.addr, proto.Close{FH: f.fh})
+	if err != nil {
+		return err
+	}
+	if e, isErr := reply.(proto.Err); isErr {
+		return errFrom(e)
+	}
+	return nil
+}
+
+// Stat resolves path and reports its metadata.
+func (cl *Client) Stat(path string) (proto.StatOK, error) {
+	reply, _, err := cl.walk(proto.Stat{Path: path})
+	if err != nil {
+		return proto.StatOK{}, err
+	}
+	switch r := reply.(type) {
+	case proto.StatOK:
+		if !r.Exists {
+			return r, ErrNotExist
+		}
+		return r, nil
+	case proto.Err:
+		return proto.StatOK{}, errFrom(r)
+	default:
+		return proto.StatOK{}, fmt.Errorf("%w: unexpected stat reply %T", ErrIO, reply)
+	}
+}
+
+// Unlink removes path at its (selected) holder.
+func (cl *Client) Unlink(path string) error {
+	reply, _, err := cl.walk(proto.Unlink{Path: path})
+	if err != nil {
+		return err
+	}
+	switch r := reply.(type) {
+	case proto.UnlinkOK:
+		return nil
+	case proto.Err:
+		return errFrom(r)
+	default:
+		return fmt.Errorf("%w: unexpected unlink reply %T", ErrIO, reply)
+	}
+}
+
+// Prepare announces paths that will be needed soon. The manager spawns
+// the look-ups (and staging) in the background, so a following bulk
+// access pays at most one full delay (Section III-B2).
+func (cl *Client) Prepare(paths []string, write bool) error {
+	var lastErr error
+	for _, mgr := range cl.cfg.Managers {
+		reply, err := cl.rpc(mgr, proto.Prepare{Paths: paths, Write: write})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if _, ok := reply.(proto.PrepareOK); ok {
+			return nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrNoServer
+	}
+	return lastErr
+}
+
+// ListNamespace asks a Cluster Name Space daemon (see internal/nsd) at
+// nsdAddr for the merged cluster namespace under prefix. Managers do
+// not serve listings — the paper keeps ls-type operations out of the
+// resolution path (Section V) — so the NSD address is supplied
+// explicitly.
+func (cl *Client) ListNamespace(nsdAddr, prefix string) ([]proto.Entry, error) {
+	reply, err := cl.rpc(nsdAddr, proto.List{Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	switch r := reply.(type) {
+	case proto.ListOK:
+		return r.Entries, nil
+	case proto.Err:
+		return nil, errFrom(r)
+	default:
+		return nil, fmt.Errorf("%w: unexpected list reply %T", ErrIO, reply)
+	}
+}
+
+// ReadFile opens, fully reads, and closes path.
+func (cl *Client) ReadFile(path string) ([]byte, error) {
+	f, err := cl.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []byte
+	buf := make([]byte, 64<<10)
+	off := int64(0)
+	for {
+		n, err := f.ReadAt(buf, off)
+		out = append(out, buf[:n]...)
+		off += int64(n)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+	}
+}
+
+// WriteFile creates (or rewrites) path with data. An existing file is
+// truncated before the new content is written.
+func (cl *Client) WriteFile(path string, data []byte) error {
+	f, err := cl.Create(path)
+	if errors.Is(err, ErrExist) {
+		f, err = cl.OpenWrite(path)
+		if err == nil {
+			err = f.Truncate(0)
+			if err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteAt(data, 0)
+	return err
+}

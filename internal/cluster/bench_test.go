@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/names"
+	"scalla/internal/proto"
+	"scalla/internal/vclock"
+)
+
+func benchTable(b *testing.B, n int) *Table {
+	b.Helper()
+	tb := New(Config{Clock: vclock.NewFake()})
+	for i := 0; i < n; i++ {
+		if _, _, err := tb.Login(Member{
+			Name: fmt.Sprintf("n%d", i), Role: proto.RoleServer,
+			DataAddr: fmt.Sprintf("n%d:1094", i),
+			Prefixes: names.NewPrefixSet("/store", "/data"),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func BenchmarkVmFor(b *testing.B) {
+	tb := benchTable(b, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.VmFor("/store/run/file.root")
+	}
+}
+
+func BenchmarkSelectByLoad(b *testing.B) {
+	tb := benchTable(b, 64)
+	cand := bitvec.Full
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Select(cand, ByLoad)
+	}
+}
+
+func BenchmarkLoginLogout(b *testing.B) {
+	tb := New(Config{Clock: vclock.NewFake()})
+	m := Member{Name: "x", Role: proto.RoleServer, Prefixes: names.NewPrefixSet("/")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		idx, _, err := tb.Login(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tb.DropNow(idx)
+	}
+}

@@ -1,0 +1,426 @@
+// Package cluster implements a cmsd node's membership table: the state
+// it keeps about its (at most 64) direct subordinates.
+//
+// The table realizes the paper's membership rules (Section III-A4):
+//
+//   - Login assigns each subordinate an index in [0, 64) and records the
+//     path prefixes it exports — never a file manifest, which is what
+//     keeps registration light (Section V).
+//   - A disconnect marks the member offline but keeps its slot: the
+//     hope is a transient failure. If the member reconnects within the
+//     drop delay with the same export set, existing cached locations
+//     referring to it remain valid.
+//   - After the drop delay, or on reconnect with a different export
+//     set, the member is dropped and any reconnection is a brand-new
+//     server (a new connect epoch for the cache's correction logic).
+//
+// The table also implements server selection among the holders of a
+// file, by load, free space, or selection frequency (Section II-B3).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/names"
+	"scalla/internal/proto"
+	"scalla/internal/vclock"
+)
+
+// ErrFull is returned when all 64 subordinate slots are taken.
+var ErrFull = errors.New("cluster: subordinate set is full (64 members)")
+
+// Policy selects among multiple servers that have a file.
+type Policy int
+
+const (
+	// ByLoad picks the least-loaded online holder (default).
+	ByLoad Policy = iota
+	// BySpace picks the holder with the most free space (used for
+	// writes and file creation).
+	BySpace
+	// ByFrequency picks the least-recently-selected holder, spreading
+	// clients evenly.
+	ByFrequency
+	// RoundRobin rotates through holders regardless of load.
+	RoundRobin
+)
+
+// Member is a snapshot of one subordinate's state.
+type Member struct {
+	Index    int
+	Name     string
+	Role     proto.Role
+	DataAddr string
+	CtlAddr  string
+	Prefixes names.PrefixSet
+	Load     uint32
+	Free     int64
+	Selected uint64
+	Online   bool
+}
+
+// Config parameterizes a Table.
+type Config struct {
+	// DropDelay is how long a disconnected member keeps its slot before
+	// being dropped. Default 10 minutes.
+	DropDelay time.Duration
+	// Clock supplies time. Default vclock.Real().
+	Clock vclock.Clock
+	// OnNewServer is invoked (without table locks held) whenever a slot
+	// is bound to a new server identity — a fresh login, a post-drop
+	// reconnection, or a reconnection with changed exports. The cache
+	// layer hooks its connect-epoch counter here.
+	OnNewServer func(index int)
+	// OnDrop is invoked (without table locks held) when a member is
+	// dropped from the cluster.
+	OnDrop func(index int)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DropDelay <= 0 {
+		c.DropDelay = 10 * time.Minute
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	return c
+}
+
+type slot struct {
+	used     bool
+	online   bool
+	name     string
+	role     proto.Role
+	dataAddr string
+	ctlAddr  string
+	prefixes names.PrefixSet
+	load     uint32
+	free     int64
+	selected uint64
+	connGen  uint64 // bumped on every connect/disconnect; guards drop timers
+}
+
+// Table tracks up to 64 subordinates. It is safe for concurrent use.
+type Table struct {
+	cfg Config
+
+	mu    sync.Mutex
+	slots [64]slot
+	rr    int // round-robin cursor
+}
+
+// New returns an empty Table.
+func New(cfg Config) *Table {
+	return &Table{cfg: cfg.withDefaults()}
+}
+
+// Login registers (or re-registers) a subordinate. The identity key is
+// name. Four cases, mirroring the paper:
+//
+//   - unknown name → new slot, new server (isNew=true);
+//   - known name, online → treated as a replacement connection
+//     (isNew=false, same slot);
+//   - known name, offline within drop delay, same exports → same slot,
+//     existing cached locations stay valid (isNew=false);
+//   - known name but different exports → the old identity is dropped
+//     and the login handled as a new server in the same slot
+//     (isNew=true).
+func (t *Table) Login(m Member) (index int, isNew bool, err error) {
+	t.mu.Lock()
+	idx := t.findByName(m.Name)
+	if idx < 0 {
+		idx = t.freeSlot()
+		if idx < 0 {
+			t.mu.Unlock()
+			return 0, false, ErrFull
+		}
+		s := &t.slots[idx]
+		*s = slot{used: true, online: true, name: m.Name, role: m.Role,
+			dataAddr: m.DataAddr, ctlAddr: m.CtlAddr, prefixes: m.Prefixes,
+			load: m.Load, free: m.Free, connGen: s.connGen + 1}
+		t.mu.Unlock()
+		t.notifyNew(idx)
+		return idx, true, nil
+	}
+	s := &t.slots[idx]
+	sameExports := s.prefixes.Equal(m.Prefixes)
+	s.online = true
+	s.role = m.Role
+	s.dataAddr = m.DataAddr
+	s.ctlAddr = m.CtlAddr
+	s.prefixes = m.Prefixes
+	s.load = m.Load
+	s.free = m.Free
+	s.connGen++
+	t.mu.Unlock()
+	if !sameExports {
+		// Paper: reconnection with a new set of exported paths is
+		// treated as a new connection.
+		t.notifyNew(idx)
+		return idx, true, nil
+	}
+	return idx, false, nil
+}
+
+func (t *Table) notifyNew(idx int) {
+	if t.cfg.OnNewServer != nil {
+		t.cfg.OnNewServer(idx)
+	}
+}
+
+// findByName returns the slot index for name, or -1. Caller holds t.mu.
+func (t *Table) findByName(name string) int {
+	for i := range t.slots {
+		if t.slots[i].used && t.slots[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// freeSlot returns an unused slot index, or -1. Caller holds t.mu.
+func (t *Table) freeSlot() int {
+	for i := range t.slots {
+		if !t.slots[i].used {
+			return i
+		}
+	}
+	return -1
+}
+
+// Disconnect marks member index offline and arms the drop timer. If the
+// member does not log back in within DropDelay it is dropped.
+func (t *Table) Disconnect(index int) {
+	if index < 0 || index >= 64 {
+		return
+	}
+	t.mu.Lock()
+	s := &t.slots[index]
+	if !s.used || !s.online {
+		t.mu.Unlock()
+		return
+	}
+	s.online = false
+	s.connGen++
+	gen := s.connGen
+	t.mu.Unlock()
+
+	go func() {
+		t.cfg.Clock.Sleep(t.cfg.DropDelay)
+		t.maybeDrop(index, gen)
+	}()
+}
+
+// maybeDrop drops the member if its state has not changed since the
+// timer was armed.
+func (t *Table) maybeDrop(index int, gen uint64) {
+	t.mu.Lock()
+	s := &t.slots[index]
+	if !s.used || s.online || s.connGen != gen {
+		t.mu.Unlock()
+		return
+	}
+	t.slots[index] = slot{connGen: s.connGen + 1}
+	t.mu.Unlock()
+	if t.cfg.OnDrop != nil {
+		t.cfg.OnDrop(index)
+	}
+}
+
+// DropNow drops member index immediately (administrative removal).
+func (t *Table) DropNow(index int) {
+	if index < 0 || index >= 64 {
+		return
+	}
+	t.mu.Lock()
+	s := &t.slots[index]
+	if !s.used {
+		t.mu.Unlock()
+		return
+	}
+	t.slots[index] = slot{connGen: s.connGen + 1}
+	t.mu.Unlock()
+	if t.cfg.OnDrop != nil {
+		t.cfg.OnDrop(index)
+	}
+}
+
+// Member returns a snapshot of member index.
+func (t *Table) Member(index int) (Member, bool) {
+	if index < 0 || index >= 64 {
+		return Member{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.slots[index]
+	if !s.used {
+		return Member{}, false
+	}
+	return t.snapshot(index), true
+}
+
+// snapshot copies slot index into a Member. Caller holds t.mu.
+func (t *Table) snapshot(index int) Member {
+	s := &t.slots[index]
+	return Member{
+		Index: index, Name: s.name, Role: s.role,
+		DataAddr: s.dataAddr, CtlAddr: s.ctlAddr, Prefixes: s.prefixes,
+		Load: s.load, Free: s.free, Selected: s.selected, Online: s.online,
+	}
+}
+
+// Members returns snapshots of all registered members, by index.
+func (t *Table) Members() []Member {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Member
+	for i := range t.slots {
+		if t.slots[i].used {
+			out = append(out, t.snapshot(i))
+		}
+	}
+	return out
+}
+
+// Count returns the number of registered members.
+func (t *Table) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].used {
+			n++
+		}
+	}
+	return n
+}
+
+// OnlineVec returns the members currently connected.
+func (t *Table) OnlineVec() bitvec.Vec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var v bitvec.Vec
+	for i := range t.slots {
+		if t.slots[i].used && t.slots[i].online {
+			v = v.With(i)
+		}
+	}
+	return v
+}
+
+// OfflineVec returns members that are disconnected but not yet dropped —
+// the paper's "time between disconnect and drop" window.
+func (t *Table) OfflineVec() bitvec.Vec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var v bitvec.Vec
+	for i := range t.slots {
+		if t.slots[i].used && !t.slots[i].online {
+			v = v.With(i)
+		}
+	}
+	return v
+}
+
+// VmFor returns the export mask for path: every registered member whose
+// exported prefixes cover it (the paper's per-path Vm, Section III-A4).
+// Offline-but-not-dropped members are included — their cached locations
+// remain valid.
+func (t *Table) VmFor(path string) bitvec.Vec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var v bitvec.Vec
+	for i := range t.slots {
+		if t.slots[i].used && t.slots[i].prefixes.Matches(path) {
+			v = v.With(i)
+		}
+	}
+	return v
+}
+
+// UpdateStats refreshes a member's load and free-space figures (from
+// Pong reports).
+func (t *Table) UpdateStats(index int, load uint32, free int64) {
+	if index < 0 || index >= 64 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &t.slots[index]
+	if s.used {
+		s.load = load
+		s.free = free
+	}
+}
+
+// Select picks one online member among candidates according to policy
+// and increments its selection count. ok=false means no online
+// candidate exists.
+func (t *Table) Select(candidates bitvec.Vec, policy Policy) (index int, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	best := -1
+	switch policy {
+	case RoundRobin:
+		// Scan from the cursor, wrapping, for the first online candidate.
+		for k := 1; k <= 64; k++ {
+			i := (t.rr + k) % 64
+			if candidates.Has(i) && t.slots[i].used && t.slots[i].online {
+				best = i
+				t.rr = i
+				break
+			}
+		}
+	default:
+		candidates.ForEach(func(i int) bool {
+			s := &t.slots[i]
+			if !s.used || !s.online {
+				return true
+			}
+			if best < 0 {
+				best = i
+				return true
+			}
+			b := &t.slots[best]
+			switch policy {
+			case BySpace:
+				if s.free > b.free {
+					best = i
+				}
+			case ByFrequency:
+				if s.selected < b.selected {
+					best = i
+				}
+			default: // ByLoad
+				if s.load < b.load {
+					best = i
+				}
+			}
+			return true
+		})
+	}
+	if best < 0 {
+		return 0, false
+	}
+	t.slots[best].selected++
+	return best, true
+}
+
+// String renders a one-line-per-member summary (for the CLI tree view).
+func (t *Table) String() string {
+	ms := t.Members()
+	out := ""
+	for _, m := range ms {
+		state := "online"
+		if !m.Online {
+			state = "offline"
+		}
+		out += fmt.Sprintf("[%2d] %-12s %-10s %-7s load=%-3d free=%d exports=%s\n",
+			m.Index, m.Name, m.Role, state, m.Load, m.Free, m.Prefixes)
+	}
+	return out
+}

@@ -1,0 +1,461 @@
+// Package cmsd implements Scalla's cluster management daemon: the
+// resolution core that ties the location cache, the fast response
+// queue, and the membership table together (Core), and the network
+// daemon that runs it as a manager, supervisor, or server node (Node).
+package cmsd
+
+import (
+	"sync/atomic"
+	"time"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/cache"
+	"scalla/internal/cluster"
+	"scalla/internal/metrics"
+	"scalla/internal/names"
+	"scalla/internal/proto"
+	"scalla/internal/respq"
+	"scalla/internal/vclock"
+)
+
+// OutcomeKind classifies a resolution result.
+type OutcomeKind int
+
+const (
+	// KindRedirect vectors the client at Addr.
+	KindRedirect OutcomeKind = iota
+	// KindWait tells the client to wait Millis and reissue the request
+	// (the full delay of Section III-B).
+	KindWait
+	// KindNoEnt means the file does not exist anywhere in the subtree.
+	KindNoEnt
+	// KindRetry asks the client to retry immediately: a reference went
+	// stale mid-operation and processing must restart from a consistent
+	// state (Section III-B1).
+	KindRetry
+)
+
+// Outcome is the result of resolving one client request.
+type Outcome struct {
+	Kind    OutcomeKind
+	Index   int    // selected subordinate
+	Addr    string // its data-plane address
+	CtlAddr string // its control address (non-empty for supervisors)
+	Pending bool   // subordinate is staging the file
+	Millis  uint32 // for KindWait
+}
+
+// Request is one client resolution request.
+type Request struct {
+	Path   string
+	Write  bool
+	Create bool
+	// Refresh forces re-querying all eligible servers, avoiding the
+	// host that failed (Section III-C1).
+	Refresh bool
+	Avoid   string // data address of the failing host, with Refresh
+}
+
+// Config parameterizes a Core.
+type Config struct {
+	// Cache configures the location cache. Clock is overridden by the
+	// Core clock.
+	Cache cache.Config
+	// Queue configures the fast response queue.
+	Queue respq.Config
+	// Cluster configures the membership table.
+	Cluster cluster.Config
+	// ReadPolicy selects among holders for reads. Default ByLoad.
+	ReadPolicy cluster.Policy
+	// WritePolicy selects among holders for writes and creation targets.
+	// Default BySpace.
+	WritePolicy cluster.Policy
+	// FullDelay is the wait imposed when the fast window misses; it
+	// should equal the cache's processing deadline. Default 5 s.
+	FullDelay time.Duration
+	// Clock supplies time everywhere. Default vclock.Real().
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.FullDelay <= 0 {
+		c.FullDelay = 5 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	if c.WritePolicy == cluster.ByLoad {
+		c.WritePolicy = cluster.BySpace
+	}
+	c.Cache.Clock = c.Clock
+	if c.Cache.Deadline <= 0 {
+		c.Cache.Deadline = c.FullDelay
+	}
+	c.Queue.Clock = c.Clock
+	c.Cluster.Clock = c.Clock
+	return c
+}
+
+// QuerySender transmits a location query to subordinate index. It
+// reports whether the query could be sent (a dead link counts as "could
+// not be queried", leaving the bit in Vq for the next look-up).
+type QuerySender func(index int, q proto.Query) bool
+
+// Core is the resolution engine of a manager or supervisor cmsd.
+type Core struct {
+	cfg   Config
+	cache *cache.Cache
+	queue *respq.Queue
+	table *cluster.Table
+	reg   *metrics.Registry
+
+	sendQuery atomic.Pointer[QuerySender]
+	qid       atomic.Uint64
+
+	stop    chan struct{}
+	stopped atomic.Bool
+}
+
+// NewCore builds a Core and starts its background machinery (response
+// thread and eviction clock). Call Close when done.
+func NewCore(cfg Config) *Core {
+	cfg = cfg.withDefaults()
+	c := &Core{cfg: cfg, stop: make(chan struct{}), reg: metrics.NewRegistry()}
+
+	// Wire membership events into the cache's connect-epoch counter.
+	userNew := cfg.Cluster.OnNewServer
+	cfg.Cluster.OnNewServer = func(i int) {
+		c.cache.ServerConnected(i)
+		if userNew != nil {
+			userNew(i)
+		}
+	}
+	c.cache = cache.New(cfg.Cache)
+	c.queue = respq.New(cfg.Queue)
+	c.table = cluster.New(cfg.Cluster)
+
+	go c.queue.Run(c.stop)
+	go c.cache.Run(c.stop)
+	return c
+}
+
+// Close stops the background machinery.
+func (c *Core) Close() {
+	if c.stopped.CompareAndSwap(false, true) {
+		close(c.stop)
+	}
+}
+
+// Table exposes the membership table (the node layer registers logins
+// and disconnects through it).
+func (c *Core) Table() *cluster.Table { return c.table }
+
+// Cache exposes the location cache (for stats and the bench harness).
+func (c *Core) Cache() *cache.Cache { return c.cache }
+
+// Queue exposes the fast response queue (for stats).
+func (c *Core) Queue() *respq.Queue { return c.queue }
+
+// Metrics exposes the resolution metrics registry: counters
+// resolve.{redirect,wait,noent,retry}, resolve.queries, resolve.haves,
+// and the resolve.latency histogram.
+func (c *Core) Metrics() *metrics.Registry { return c.reg }
+
+// SetQuerySender installs the function used to transmit queries to
+// subordinates. The node layer sets it once links exist.
+func (c *Core) SetQuerySender(fn QuerySender) { c.sendQuery.Store(&fn) }
+
+// fullDelayMillis is the Wait payload for a full-delay retry.
+func (c *Core) fullDelayMillis() uint32 {
+	return uint32(c.cfg.FullDelay / time.Millisecond)
+}
+
+// NextQID returns a fresh query identifier.
+func (c *Core) NextQID() uint64 { return c.qid.Add(1) }
+
+// Resolve runs the resolution steps of Section III-B1 for one request,
+// blocking until the client can be answered (a fast-window response, an
+// immediate cached redirect, or a wait/doesn't-exist verdict).
+func (c *Core) Resolve(req Request) Outcome {
+	start := c.cfg.Clock.Now()
+	out := c.resolve(req)
+	c.reg.Histogram("resolve.latency").Observe(c.cfg.Clock.Now().Sub(start))
+	switch out.Kind {
+	case KindRedirect:
+		c.reg.Counter("resolve.redirect").Inc()
+	case KindWait:
+		c.reg.Counter("resolve.wait").Inc()
+	case KindNoEnt:
+		c.reg.Counter("resolve.noent").Inc()
+	case KindRetry:
+		c.reg.Counter("resolve.retry").Inc()
+	}
+	return out
+}
+
+func (c *Core) resolve(req Request) Outcome {
+	path := names.Clean(req.Path)
+	vm := c.table.VmFor(path)
+	if vm.IsEmpty() {
+		// No registered subordinate exports the path.
+		return Outcome{Kind: KindNoEnt}
+	}
+	offline := c.table.OfflineVec()
+	avoid := c.indexByAddr(req.Avoid)
+
+	var (
+		ref     cache.Ref
+		view    cache.View
+		ok      bool
+		claimed bool
+	)
+	if req.Refresh {
+		ref, view, ok = c.cache.Fetch(path, vm, offline)
+		if ok {
+			if v, rok := c.cache.Refresh(ref, vm, avoid); rok {
+				view, claimed = v, true
+			} else {
+				return Outcome{Kind: KindRetry}
+			}
+			if avoid >= 0 {
+				// Evict the failing server so selection avoids it even
+				// if a stale response re-adds it later.
+				c.cache.Evict(ref, avoid)
+			}
+		}
+	} else {
+		ref, view, ok = c.cache.Fetch(path, vm, offline)
+	}
+	if !ok {
+		// Step 1: first access — cache the name with Vq = Vm. The
+		// creator owns the processing deadline.
+		var created bool
+		ref, view, created = c.cache.Add(path, vm, offline)
+		claimed = created
+	}
+
+	// Step 3: any known holder (or stager) wins immediately — this is
+	// the <50 µs cached path.
+	if out, done := c.redirectFrom(view, req.Write, avoid); done {
+		return out
+	}
+
+	now := c.cfg.Clock.Now()
+	if view.Empty() {
+		// Step 2: nothing known and nothing left to ask.
+		if now.After(view.Deadline) {
+			return c.notFound(path, vm, req)
+		}
+		// A deadline is pending: some other thread is querying. Defer
+		// via the fast response queue.
+		return c.parkAndWait(ref, req.Write, avoid)
+	}
+
+	// Step 4/5: Vq is non-empty. Exactly one thread issues the queries;
+	// everyone parks on the fast response queue first so no response
+	// can slip between query and park.
+	if !claimed {
+		cl, vok := c.cache.ClaimQuery(ref)
+		if !vok {
+			return Outcome{Kind: KindRetry}
+		}
+		claimed = cl
+	}
+	if !claimed {
+		return c.parkAndWait(ref, req.Write, avoid)
+	}
+
+	parked, waitCh := c.park(ref, req.Write)
+	c.broadcast(ref, view.Vq, req.Write)
+	if !parked {
+		// Queue full: the client pays the full delay (Section III-B1).
+		return Outcome{Kind: KindWait, Millis: c.fullDelayMillis()}
+	}
+	return c.await(waitCh, avoid)
+}
+
+// notFound resolves the "file does not exist" verdict. For creation,
+// non-existence is the green light: pick a target by the write policy
+// and optimistically record the location (step "mitigating timeout
+// delays" — the create path).
+func (c *Core) notFound(path string, vm bitvec.Vec, req Request) Outcome {
+	if !req.Create {
+		return Outcome{Kind: KindNoEnt}
+	}
+	idx, ok := c.table.Select(vm, c.cfg.WritePolicy)
+	if !ok {
+		return Outcome{Kind: KindNoEnt}
+	}
+	m, ok := c.table.Member(idx)
+	if !ok {
+		return Outcome{Kind: KindNoEnt}
+	}
+	// Optimistically record the impending location so the next client
+	// finds it without a full delay.
+	c.cache.Update(path, names.Hash(path), idx, false, true)
+	return Outcome{Kind: KindRedirect, Index: idx, Addr: m.DataAddr, CtlAddr: ctlIfRedirector(m)}
+}
+
+// redirectFrom selects among the view's holders, never vectoring at the
+// avoid index (the host the client just reported as failing, Section
+// III-C1). done=false means no eligible online holder exists and
+// resolution must continue.
+func (c *Core) redirectFrom(view cache.View, write bool, avoid int) (Outcome, bool) {
+	policy := c.cfg.ReadPolicy
+	if write {
+		policy = c.cfg.WritePolicy
+	}
+	vh := view.Vh.Minus(bitvec.Bit(avoid))
+	vp := view.Vp.Minus(bitvec.Bit(avoid))
+	if !vh.IsEmpty() {
+		if idx, ok := c.table.Select(vh, policy); ok {
+			if m, mok := c.table.Member(idx); mok {
+				return Outcome{Kind: KindRedirect, Index: idx, Addr: m.DataAddr, CtlAddr: ctlIfRedirector(m)}, true
+			}
+		}
+	}
+	if !vp.IsEmpty() {
+		if idx, ok := c.table.Select(vp, policy); ok {
+			if m, mok := c.table.Member(idx); mok {
+				return Outcome{Kind: KindRedirect, Index: idx, Addr: m.DataAddr, CtlAddr: ctlIfRedirector(m), Pending: true}, true
+			}
+		}
+	}
+	return Outcome{}, false
+}
+
+func ctlIfRedirector(m cluster.Member) string {
+	if m.Role == proto.RoleSupervisor {
+		return m.CtlAddr
+	}
+	return ""
+}
+
+// park adds a waiter for ref to the fast response queue, joining the
+// existing entry when one is live. It returns the channel the outcome
+// arrives on; parked=false means the queue is full.
+func (c *Core) park(ref cache.Ref, write bool) (parked bool, ch chan respq.Result) {
+	ch = make(chan respq.Result, 2)
+	w := func(r respq.Result) {
+		select {
+		case ch <- r:
+		default: // double delivery from a lost swap race; drop
+		}
+	}
+	tok, ok := c.cache.Waiters(ref, write)
+	if !ok {
+		return false, ch
+	}
+	if tok != 0 && c.queue.Join(tok, w) {
+		return true, ch
+	}
+	ntok, err := c.queue.NewEntry(w)
+	if err != nil {
+		return false, ch
+	}
+	if c.cache.SwapWaiters(ref, write, tok, ntok) {
+		return true, ch
+	}
+	// Lost the installation race; try to join whoever won. Our orphaned
+	// entry simply expires (worst case w fires twice; the buffer guard
+	// above absorbs it).
+	tok2, ok2 := c.cache.Waiters(ref, write)
+	if ok2 && tok2 != 0 && c.queue.Join(tok2, w) {
+		return true, ch
+	}
+	return true, ch // rely on the orphan entry's own expiry
+}
+
+// parkAndWait parks and blocks for the outcome (deferral path).
+func (c *Core) parkAndWait(ref cache.Ref, write bool, avoid int) Outcome {
+	parked, ch := c.park(ref, write)
+	if !parked {
+		return Outcome{Kind: KindWait, Millis: c.fullDelayMillis()}
+	}
+	return c.await(ch, avoid)
+}
+
+// await converts the fast-response outcome into a client answer. A
+// release naming the avoided host (possible when a stale in-flight
+// response from it lands mid-refresh) is answered with a wait instead —
+// the client must never be re-vectored at the host it just reported.
+func (c *Core) await(ch chan respq.Result, avoid int) Outcome {
+	select {
+	case r := <-ch:
+		if r.Expired || r.Server == avoid {
+			return Outcome{Kind: KindWait, Millis: c.fullDelayMillis()}
+		}
+		m, ok := c.table.Member(r.Server)
+		if !ok {
+			return Outcome{Kind: KindWait, Millis: c.fullDelayMillis()}
+		}
+		return Outcome{Kind: KindRedirect, Index: r.Server, Addr: m.DataAddr,
+			CtlAddr: ctlIfRedirector(m), Pending: r.Pending}
+	case <-c.stop:
+		return Outcome{Kind: KindWait, Millis: c.fullDelayMillis()}
+	}
+}
+
+// broadcast sends a location query to every online subordinate in vq
+// and marks the successfully queried ones off the object's Vq (step 6).
+func (c *Core) broadcast(ref cache.Ref, vq bitvec.Vec, write bool) {
+	fnp := c.sendQuery.Load()
+	if fnp == nil {
+		return
+	}
+	fn := *fnp
+	q := proto.Query{QID: c.NextQID(), Path: ref.Name(), Hash: ref.Hash(), Write: write}
+	online := c.table.OnlineVec()
+	var queried bitvec.Vec
+	vq.Intersect(online).ForEach(func(i int) bool {
+		if fn(i, q) {
+			queried = queried.With(i)
+		}
+		return true
+	})
+	if !queried.IsEmpty() {
+		c.cache.MarkQueried(ref, queried)
+		c.reg.Counter("resolve.queries").Add(int64(queried.Count()))
+	}
+}
+
+// HandleHave processes a positive response from subordinate index: it
+// updates the cache (names and hash are passed straight through, no
+// rehash) and releases any fast-response waiters (Section III-B1).
+func (c *Core) HandleHave(index int, h proto.Have) {
+	c.reg.Counter("resolve.haves").Inc()
+	res, ok := c.cache.Update(h.Path, h.Hash, index, h.Pending, h.CanWrite)
+	if !ok {
+		return // response for an evicted or unknown name; drop
+	}
+	if res.ReadWaiters != 0 {
+		c.queue.Release(res.ReadWaiters, index, h.Pending)
+	}
+	if res.WriteWaiters != 0 {
+		c.queue.Release(res.WriteWaiters, index, h.Pending)
+	}
+}
+
+// Prepare spawns a background resolution per path (Section III-B2).
+// Each suffers its own full delay internally, but the caller returns
+// immediately, so a bulk workload pays at most one externally visible
+// delay.
+func (c *Core) Prepare(paths []string, write bool) uint32 {
+	for _, p := range paths {
+		go c.Resolve(Request{Path: p, Write: write})
+	}
+	return uint32(len(paths))
+}
+
+// indexByAddr maps a data address back to a member index, or -1.
+func (c *Core) indexByAddr(addr string) int {
+	if addr == "" {
+		return -1
+	}
+	for _, m := range c.table.Members() {
+		if m.DataAddr == addr {
+			return m.Index
+		}
+	}
+	return -1
+}

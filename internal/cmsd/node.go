@@ -1,0 +1,597 @@
+package cmsd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scalla/internal/cluster"
+	"scalla/internal/names"
+	"scalla/internal/proto"
+	"scalla/internal/store"
+	"scalla/internal/transport"
+	"scalla/internal/vclock"
+	"scalla/internal/xrd"
+)
+
+// NodeConfig assembles one Scalla node (the paper's xrootd+cmsd pair).
+type NodeConfig struct {
+	// Name is the node's stable identity; reconnections under the same
+	// name reclaim the same subordinate slot.
+	Name string
+	// Role determines behaviour: servers serve data and answer queries
+	// from their store; supervisors and managers run a resolution Core.
+	Role proto.Role
+	// DataAddr is the data-plane listen address (clients and redirected
+	// clients dial it).
+	DataAddr string
+	// CtlAddr is the control-plane listen address (subordinates dial
+	// it). Unused by servers.
+	CtlAddr string
+	// Parents are control addresses of the node's parent redirectors.
+	// Servers and supervisors log into every parent (manager
+	// replication); managers leave it empty.
+	Parents []string
+	// Prefixes are the path prefixes this node exports at login.
+	Prefixes []string
+	// Net supplies transport.
+	Net transport.Network
+	// Store backs a server-role node.
+	Store *store.Store
+	// ReadOnly refuses writes on a server-role node.
+	ReadOnly bool
+	// RespondAlways makes a server answer every query, sending explicit
+	// negatives. This is the protocol baseline for experiment E10; the
+	// paper's request-rarely-respond protocol never sends negatives.
+	RespondAlways bool
+	// Core configures the resolution engine (manager/supervisor).
+	Core Config
+	// StageWaitMillis is the wait hint while files stage. Default 300.
+	StageWaitMillis uint32
+	// PingInterval is how often a redirector pings subordinates for
+	// load/liveness. Default 1 s.
+	PingInterval time.Duration
+	// ReconnectDelay paces a subordinate's redial loop. Default 200 ms.
+	ReconnectDelay time.Duration
+	// Clock supplies time. Default vclock.Real().
+	Clock vclock.Clock
+	// Logf, if set, receives diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.StageWaitMillis == 0 {
+		c.StageWaitMillis = 300
+	}
+	if c.PingInterval <= 0 {
+		c.PingInterval = time.Second
+	}
+	if c.ReconnectDelay <= 0 {
+		c.ReconnectDelay = 200 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	c.Core.Clock = c.Clock
+	return c
+}
+
+// Node is a running Scalla node.
+type Node struct {
+	cfg  NodeConfig
+	core *Core       // redirector roles
+	data *xrd.Server // server role
+
+	dataL transport.Listener
+	ctlL  transport.Listener
+
+	mu    sync.Mutex
+	conns map[int]transport.Conn      // child control links by index
+	live  map[transport.Conn]struct{} // every open connection, closed on Stop
+
+	parentsUp atomic.Int32 // successfully logged-in parent links
+	queries   atomic.Int64 // location queries received from parents
+	haves     atomic.Int64 // positive responses sent upward
+	negatives atomic.Int64 // explicit negatives (sent or received; baseline only)
+
+	stop    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// NewNode builds a Node; call Start to bring it up.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:   cfg,
+		conns: make(map[int]transport.Conn),
+		live:  make(map[transport.Conn]struct{}),
+		stop:  make(chan struct{}),
+	}
+	switch cfg.Role {
+	case proto.RoleServer:
+		if cfg.Store == nil {
+			return nil, fmt.Errorf("cmsd: server node %q requires a Store", cfg.Name)
+		}
+		n.data = xrd.New(xrd.Config{
+			Store: cfg.Store, ReadOnly: cfg.ReadOnly,
+			StageWaitMillis: cfg.StageWaitMillis, Logf: cfg.Logf,
+		})
+	case proto.RoleSupervisor, proto.RoleManager:
+		n.core = NewCore(cfg.Core)
+		n.core.SetQuerySender(n.querySender)
+	default:
+		return nil, fmt.Errorf("cmsd: unknown role %v", cfg.Role)
+	}
+	return n, nil
+}
+
+// Core returns the resolution engine (nil on server-role nodes).
+func (n *Node) Core() *Core { return n.core }
+
+// DataServer returns the xrd server (nil on redirector-role nodes).
+func (n *Node) DataServer() *xrd.Server { return n.data }
+
+// DataAddr returns the node's data-plane address.
+func (n *Node) DataAddr() string { return n.cfg.DataAddr }
+
+// CtlAddr returns the node's control-plane address.
+func (n *Node) CtlAddr() string { return n.cfg.CtlAddr }
+
+// Name returns the node's identity.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Start binds listeners and launches the node's loops.
+func (n *Node) Start() error {
+	var err error
+	if n.cfg.DataAddr != "" {
+		n.dataL, err = n.cfg.Net.Listen(n.cfg.DataAddr)
+		if err != nil {
+			return fmt.Errorf("cmsd: %s: data listen: %w", n.cfg.Name, err)
+		}
+		if n.cfg.Role == proto.RoleServer {
+			n.wg.Add(1)
+			go func() { defer n.wg.Done(); n.data.Serve(n.dataL) }()
+		} else {
+			n.wg.Add(1)
+			go func() { defer n.wg.Done(); n.serveRedirector(n.dataL) }()
+		}
+	}
+	if n.cfg.Role != proto.RoleServer && n.cfg.CtlAddr != "" {
+		n.ctlL, err = n.cfg.Net.Listen(n.cfg.CtlAddr)
+		if err != nil {
+			if n.dataL != nil {
+				n.dataL.Close()
+			}
+			return fmt.Errorf("cmsd: %s: ctl listen: %w", n.cfg.Name, err)
+		}
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); n.acceptChildren(n.ctlL) }()
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); n.pinger() }()
+	}
+	for _, p := range n.cfg.Parents {
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); n.parentLoop(p) }()
+	}
+	return nil
+}
+
+// Stop shuts the node down and waits for its loops to exit.
+func (n *Node) Stop() {
+	if !n.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(n.stop)
+	if n.dataL != nil {
+		n.dataL.Close()
+	}
+	if n.ctlL != nil {
+		n.ctlL.Close()
+	}
+	if n.data != nil {
+		n.data.Close()
+	}
+	n.mu.Lock()
+	for c := range n.live {
+		c.Close()
+	}
+	n.mu.Unlock()
+	if n.core != nil {
+		n.core.Close()
+	}
+	n.wg.Wait()
+}
+
+// track registers a connection for closure on Stop. It returns false if
+// the node is already stopping (the caller should abandon the conn).
+func (n *Node) track(c transport.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped.Load() {
+		c.Close()
+		return false
+	}
+	n.live[c] = struct{}{}
+	return true
+}
+
+func (n *Node) untrack(c transport.Conn) {
+	n.mu.Lock()
+	delete(n.live, c)
+	n.mu.Unlock()
+}
+
+// ParentsUp reports how many parent links are currently logged in.
+func (n *Node) ParentsUp() int { return int(n.parentsUp.Load()) }
+
+// ---------------------------------------------------------------------
+// Parent side: accept subordinate logins, receive Have/Pong.
+
+func (n *Node) acceptChildren(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); n.childConn(conn) }()
+	}
+}
+
+func (n *Node) childConn(conn transport.Conn) {
+	if !n.track(conn) {
+		return
+	}
+	defer n.untrack(conn)
+	defer conn.Close()
+	frame, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	msg, err := proto.Unmarshal(frame)
+	if err != nil {
+		return
+	}
+	login, ok := msg.(proto.Login)
+	if !ok {
+		conn.Send(proto.Marshal(proto.LoginRej{Reason: "expected login"}))
+		return
+	}
+	idx, _, err := n.core.Table().Login(cluster.Member{
+		Name: login.Name, Role: login.Role,
+		DataAddr: login.DataAddr, CtlAddr: login.CtlAddr,
+		Prefixes: names.NewPrefixSet(login.Prefixes...),
+		Load:     login.Load, Free: login.Free,
+	})
+	if err != nil {
+		conn.Send(proto.Marshal(proto.LoginRej{Reason: err.Error()}))
+		return
+	}
+	if err := conn.Send(proto.Marshal(proto.LoginOK{Index: uint8(idx)})); err != nil {
+		n.core.Table().Disconnect(idx)
+		return
+	}
+	n.cfg.Logf("cmsd %s: child %s logged in as index %d", n.cfg.Name, login.Name, idx)
+
+	n.mu.Lock()
+	old := n.conns[idx]
+	n.conns[idx] = conn
+	n.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			break
+		}
+		msg, err := proto.Unmarshal(frame)
+		if err != nil {
+			break
+		}
+		switch m := msg.(type) {
+		case proto.Have:
+			n.core.HandleHave(idx, m)
+		case proto.HaveNot:
+			// Baseline traffic only; counted and otherwise ignored.
+			n.negatives.Add(1)
+		case proto.Pong:
+			n.core.Table().UpdateStats(idx, m.Load, m.Free)
+		}
+	}
+
+	n.mu.Lock()
+	if n.conns[idx] == conn {
+		delete(n.conns, idx)
+		n.mu.Unlock()
+		n.core.Table().Disconnect(idx)
+		n.cfg.Logf("cmsd %s: child index %d disconnected", n.cfg.Name, idx)
+	} else {
+		n.mu.Unlock()
+	}
+}
+
+// querySender transmits a Query to child index (Core callback).
+func (n *Node) querySender(index int, q proto.Query) bool {
+	n.mu.Lock()
+	conn := n.conns[index]
+	n.mu.Unlock()
+	if conn == nil {
+		return false
+	}
+	return conn.Send(proto.Marshal(q)) == nil
+}
+
+// pinger probes subordinates for load/liveness.
+func (n *Node) pinger() {
+	t := n.cfg.Clock.NewTicker(n.cfg.PingInterval)
+	defer t.Stop()
+	ping := proto.Marshal(proto.Ping{})
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C():
+			n.mu.Lock()
+			conns := make([]transport.Conn, 0, len(n.conns))
+			for _, c := range n.conns {
+				conns = append(conns, c)
+			}
+			n.mu.Unlock()
+			for _, c := range conns {
+				_ = c.Send(ping)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Child side: log into parents, answer queries.
+
+func (n *Node) parentLoop(parent string) {
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		conn, err := n.cfg.Net.Dial(parent)
+		if err != nil {
+			n.sleepOrStop(n.cfg.ReconnectDelay)
+			continue
+		}
+		n.runParentConn(parent, conn)
+		select {
+		case <-n.stop:
+			conn.Close()
+			return
+		default:
+		}
+		n.sleepOrStop(n.cfg.ReconnectDelay)
+	}
+}
+
+func (n *Node) sleepOrStop(d time.Duration) {
+	select {
+	case <-n.stop:
+	case <-n.cfg.Clock.After(d):
+	}
+}
+
+func (n *Node) loginMsg() proto.Login {
+	free := int64(1 << 40)
+	load := uint32(0)
+	if n.data != nil {
+		free = n.data.Store().Free()
+		load = n.data.Load()
+	}
+	return proto.Login{
+		Role: n.cfg.Role, Name: n.cfg.Name,
+		DataAddr: n.cfg.DataAddr, CtlAddr: n.cfg.CtlAddr,
+		Prefixes: n.cfg.Prefixes, Free: free, Load: load,
+	}
+}
+
+func (n *Node) runParentConn(parent string, conn transport.Conn) {
+	if !n.track(conn) {
+		return
+	}
+	defer n.untrack(conn)
+	defer conn.Close()
+	if err := conn.Send(proto.Marshal(n.loginMsg())); err != nil {
+		return
+	}
+	frame, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	msg, err := proto.Unmarshal(frame)
+	if err != nil {
+		return
+	}
+	if rej, isRej := msg.(proto.LoginRej); isRej {
+		n.cfg.Logf("cmsd %s: login rejected by %s: %s", n.cfg.Name, parent, rej.Reason)
+		n.sleepOrStop(5 * n.cfg.ReconnectDelay)
+		return
+	}
+	if _, isOK := msg.(proto.LoginOK); !isOK {
+		return
+	}
+	n.parentsUp.Add(1)
+	defer n.parentsUp.Add(-1)
+	n.cfg.Logf("cmsd %s: logged into %s", n.cfg.Name, parent)
+
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := proto.Unmarshal(frame)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case proto.Query:
+			n.handleQuery(conn, m)
+		case proto.Ping:
+			pong := proto.Pong{Free: 1 << 40}
+			if n.data != nil {
+				pong = proto.Pong{Load: n.data.Load(), Free: n.data.Store().Free()}
+			}
+			if err := conn.Send(proto.Marshal(pong)); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// handleQuery implements the request-rarely-respond protocol: answer
+// only when this subtree has (or is staging) the file; silence
+// otherwise.
+func (n *Node) handleQuery(conn transport.Conn, q proto.Query) {
+	n.queries.Add(1)
+	switch n.cfg.Role {
+	case proto.RoleServer:
+		st := n.data.Store()
+		switch {
+		case st.HasOnline(q.Path):
+			n.haves.Add(1)
+			conn.Send(proto.Marshal(proto.Have{
+				QID: q.QID, Path: q.Path, Hash: q.Hash,
+				Pending: false, CanWrite: !n.cfg.ReadOnly,
+			}))
+		case st.Has(q.Path):
+			// In mass storage: begin making it ready and report Vp.
+			st.Stage(q.Path)
+			n.haves.Add(1)
+			conn.Send(proto.Marshal(proto.Have{
+				QID: q.QID, Path: q.Path, Hash: q.Hash,
+				Pending: true, CanWrite: !n.cfg.ReadOnly,
+			}))
+		default:
+			if n.cfg.RespondAlways {
+				// E10 baseline: explicit negative instead of silence.
+				n.negatives.Add(1)
+				conn.Send(proto.Marshal(proto.HaveNot{QID: q.QID, Path: q.Path, Hash: q.Hash}))
+			}
+		}
+		// Silence means "no" (Section III-B).
+	case proto.RoleSupervisor:
+		// Resolve among our own subtree asynchronously; multiple child
+		// responses compress into (at most) this one upward Have.
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			out := n.core.Resolve(Request{Path: q.Path, Write: q.Write})
+			if out.Kind == KindRedirect {
+				n.haves.Add(1)
+				conn.Send(proto.Marshal(proto.Have{
+					QID: q.QID, Path: q.Path, Hash: q.Hash,
+					Pending: out.Pending, CanWrite: true,
+				}))
+			}
+		}()
+	}
+}
+
+// QueriesReceived reports how many location queries this node has been
+// asked by its parents (the harness uses it for the message-count
+// experiments E10/E13).
+func (n *Node) QueriesReceived() int64 { return n.queries.Load() }
+
+// HavesSent reports how many positive responses this node sent upward.
+func (n *Node) HavesSent() int64 { return n.haves.Load() }
+
+// Negatives reports the explicit negative responses this node sent (as
+// a respond-always server) or received (as a manager). Always zero for
+// the production protocol.
+func (n *Node) Negatives() int64 { return n.negatives.Load() }
+
+// ---------------------------------------------------------------------
+// Redirector data plane.
+
+func (n *Node) serveRedirector(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); n.redirectorConn(conn) }()
+	}
+}
+
+func (n *Node) redirectorConn(conn transport.Conn) {
+	if !n.track(conn) {
+		return
+	}
+	defer n.untrack(conn)
+	defer conn.Close()
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := proto.Unmarshal(frame)
+		if err != nil {
+			return
+		}
+		var reply proto.Message
+		switch m := msg.(type) {
+		case proto.Locate:
+			reply = n.outcomeReply(n.core.Resolve(Request{
+				Path: m.Path, Write: m.Write, Create: m.Create,
+				Refresh: m.Refresh, Avoid: m.Avoid,
+			}))
+		case proto.Open:
+			reply = n.outcomeReply(n.core.Resolve(Request{
+				Path: m.Path, Write: m.Write, Create: m.Create,
+			}))
+		case proto.Stat, proto.Unlink:
+			var path string
+			if s, isStat := m.(proto.Stat); isStat {
+				path = s.Path
+			} else {
+				path = m.(proto.Unlink).Path
+			}
+			out := n.core.Resolve(Request{Path: path})
+			if out.Kind == KindNoEnt {
+				if _, isStat := m.(proto.Stat); isStat {
+					reply = proto.StatOK{Exists: false}
+				} else {
+					reply = proto.Err{Code: proto.ENoEnt, Msg: "no such file"}
+				}
+			} else {
+				reply = n.outcomeReply(out)
+			}
+		case proto.Prepare:
+			reply = proto.PrepareOK{Queued: n.core.Prepare(m.Paths, m.Write)}
+		case proto.Ping:
+			reply = proto.Pong{Free: 1 << 40}
+		default:
+			reply = proto.Err{Code: proto.EInval, Msg: "unexpected message"}
+		}
+		if err := conn.Send(proto.Marshal(reply)); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) outcomeReply(out Outcome) proto.Message {
+	switch out.Kind {
+	case KindRedirect:
+		return proto.Redirect{Addr: out.Addr, CtlAddr: out.CtlAddr, Pending: out.Pending}
+	case KindWait:
+		return proto.Wait{Millis: out.Millis}
+	case KindRetry:
+		return proto.Wait{Millis: 1}
+	default:
+		return proto.Err{Code: proto.ENoEnt, Msg: "no such file"}
+	}
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"scalla"
+	"scalla/internal/transport"
+)
+
+// E1TreeLatency reproduces the per-tree-level redirection cost
+// (Sections II-B1/II-B5): cached look-ups cost a small constant per
+// level, so total time is O(log_fanout N). The paper quotes < 50 µs per
+// level on 2012 hardware; the shape to verify is per-level cost staying
+// roughly flat as depth grows.
+func E1TreeLatency(s Scale) Table {
+	iters := s.pick(200, 2000)
+	fanout := 4
+	depths := []int{1, 2, 3}
+
+	t := Table{
+		ID:     "E1",
+		Title:  "cached resolution latency vs tree depth",
+		Claim:  "<50µs per tree level; total O(log64 N) (II-B5, VI)",
+		Header: []string{"depth", "servers", "redirectors crossed", "mean", "p50", "p99", "per-level"},
+	}
+	for _, depth := range depths {
+		servers := 1
+		for i := 0; i < depth; i++ {
+			servers *= fanout
+		}
+		cl, err := quickCluster(servers, fanout)
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("depth %d: %v", depth, err))
+			continue
+		}
+		// One file per server; warm every location.
+		c := cl.NewClient()
+		paths := make([]string, servers)
+		for i := range paths {
+			paths[i] = fmt.Sprintf("/store/e1/f%04d", i)
+			cl.Store(i).Put(paths[i], []byte("x"))
+		}
+		for _, p := range paths {
+			if _, err := c.Locate(p, false); err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("warm %s: %v", p, err))
+			}
+		}
+		// Measure cached resolution through the full chain.
+		samples := make([]time.Duration, 0, iters)
+		for i := 0; i < iters; i++ {
+			p := paths[i%len(paths)]
+			start := time.Now()
+			if _, err := c.Locate(p, false); err != nil {
+				continue
+			}
+			samples = append(samples, time.Since(start))
+		}
+		mean := meanOf(samples)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(depth),
+			fmt.Sprint(servers),
+			fmt.Sprint(depth),
+			fmtDur(mean),
+			fmtDur(percentileOf(samples, 0.50)),
+			fmtDur(percentileOf(samples, 0.99)),
+			fmtDur(mean / time.Duration(depth)),
+		})
+		c.Close()
+		cl.Stop()
+	}
+	t.Notes = append(t.Notes,
+		"per-level cost should stay roughly constant while servers grow geometrically")
+	return t
+}
+
+// E2UncachedLookup reproduces the cached-vs-uncached gap (II-B5): a
+// first access pays one leaf round trip on top of the per-level cost
+// (~150µs vs ~50µs on the paper's network).
+func E2UncachedLookup(s Scale) Table {
+	n := s.pick(100, 1000)
+	cl, err := quickCluster(16, 64)
+	t := Table{
+		ID:     "E2",
+		Title:  "first-access vs cached resolution",
+		Claim:  "uncached ≈ cached + one leaf response (~150µs vs <50µs) (II-B5)",
+		Header: []string{"case", "n", "mean", "p50", "p99"},
+	}
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	defer cl.Stop()
+	c := cl.NewClient()
+	defer c.Close()
+
+	paths := make([]string, n)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/store/e2/f%05d", i)
+		cl.Store(i%16).Put(paths[i], []byte("x"))
+	}
+	cold := make([]time.Duration, 0, n)
+	for _, p := range paths {
+		start := time.Now()
+		if _, err := c.Locate(p, false); err != nil {
+			continue
+		}
+		cold = append(cold, time.Since(start))
+	}
+	warm := make([]time.Duration, 0, n)
+	for _, p := range paths {
+		start := time.Now()
+		if _, err := c.Locate(p, false); err != nil {
+			continue
+		}
+		warm = append(warm, time.Since(start))
+	}
+	t.Rows = append(t.Rows,
+		[]string{"uncached (query+fast resp)", fmt.Sprint(len(cold)), fmtDur(meanOf(cold)),
+			fmtDur(percentileOf(cold, 0.5)), fmtDur(percentileOf(cold, 0.99))},
+		[]string{"cached redirect", fmt.Sprint(len(warm)), fmtDur(meanOf(warm)),
+			fmtDur(percentileOf(warm, 0.5)), fmtDur(percentileOf(warm, 0.99))},
+	)
+	if len(cold) > 0 && len(warm) > 0 {
+		t.Rows = append(t.Rows, []string{"ratio", "",
+			fmt.Sprintf("%.1fx", float64(meanOf(cold))/float64(meanOf(warm))), "", ""})
+	}
+
+	// Repeat over links with 50µs one-way latency — the paper's LAN
+	// regime — so the absolute numbers line up with its 150µs vs 50µs.
+	lat, err := scalla.StartCluster(scalla.Options{
+		Servers:    16,
+		Net:        transport.NewInProc(transport.InProcConfig{Latency: 50 * time.Microsecond}),
+		FullDelay:  250 * time.Millisecond,
+		FastPeriod: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	defer lat.Stop()
+	lc := lat.NewClient()
+	defer lc.Close()
+	nl := n / 4
+	lpaths := make([]string, nl)
+	for i := range lpaths {
+		lpaths[i] = fmt.Sprintf("/store/e2lan/f%05d", i)
+		lat.Store(i%16).Put(lpaths[i], []byte("x"))
+	}
+	coldL := make([]time.Duration, 0, nl)
+	for _, p := range lpaths {
+		start := time.Now()
+		if _, err := lc.Locate(p, false); err == nil {
+			coldL = append(coldL, time.Since(start))
+		}
+	}
+	warmL := make([]time.Duration, 0, nl)
+	for _, p := range lpaths {
+		start := time.Now()
+		if _, err := lc.Locate(p, false); err == nil {
+			warmL = append(warmL, time.Since(start))
+		}
+	}
+	t.Rows = append(t.Rows,
+		[]string{"uncached, 50µs links (paper regime)", fmt.Sprint(len(coldL)), fmtDur(meanOf(coldL)),
+			fmtDur(percentileOf(coldL, 0.5)), fmtDur(percentileOf(coldL, 0.99))},
+		[]string{"cached, 50µs links", fmt.Sprint(len(warmL)), fmtDur(meanOf(warmL)),
+			fmtDur(percentileOf(warmL, 0.5)), fmtDur(percentileOf(warmL, 0.99))},
+	)
+	t.Notes = append(t.Notes,
+		"paper quotes ~150µs uncached vs <50µs/level cached on a 1Gb LAN; the 50µs-link rows emulate that regime")
+	return t
+}
+
+// E3LoadSlope reproduces the load claim (II-B5): because the cache uses
+// linear/constant-time algorithms, mean redirection time rises with a
+// very low linear slope as concurrent load increases.
+func E3LoadSlope(s Scale) Table {
+	perClient := s.pick(50, 400)
+	maxClients := s.pick(64, 256)
+	cl, err := quickCluster(8, 64)
+	t := Table{
+		ID:     "E3",
+		Title:  "cached redirection latency vs offered load",
+		Claim:  "redirection time rises with a very low linear slope under load (II-B5)",
+		Header: []string{"concurrent clients", "lookups", "mean", "p50", "p99", "throughput"},
+	}
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	defer cl.Stop()
+
+	// Warm a pool of names.
+	warm := cl.NewClient()
+	nFiles := 64
+	paths := make([]string, nFiles)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/store/e3/f%03d", i)
+		cl.Store(i%8).Put(paths[i], []byte("x"))
+		warm.Locate(paths[i], false)
+	}
+	warm.Close()
+
+	var first, last float64
+	for clients := 1; clients <= maxClients; clients *= 4 {
+		var mu sync.Mutex
+		var samples []time.Duration
+		var wg sync.WaitGroup
+		start := time.Now()
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := cl.NewClient()
+				defer c.Close()
+				r := rand.New(rand.NewSource(int64(g)))
+				local := make([]time.Duration, 0, perClient)
+				for i := 0; i < perClient; i++ {
+					p := paths[r.Intn(len(paths))]
+					t0 := time.Now()
+					if _, err := c.Locate(p, false); err == nil {
+						local = append(local, time.Since(t0))
+					}
+				}
+				mu.Lock()
+				samples = append(samples, local...)
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		mean := meanOf(samples)
+		if clients == 1 {
+			first = float64(mean)
+		}
+		last = float64(mean)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(clients),
+			fmt.Sprint(len(samples)),
+			fmtDur(mean),
+			fmtDur(percentileOf(samples, 0.5)),
+			fmtDur(percentileOf(samples, 0.99)),
+			fmt.Sprintf("%.0f/s", float64(len(samples))/elapsed.Seconds()),
+		})
+	}
+	if first > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"mean grew %.1fx from 1 to %d clients (low slope = redirector is not the bottleneck)",
+			last/first, maxClients))
+	}
+	return t
+}
+
+// E9FastResponse reproduces Section III-B: queries for files that exist
+// are satisfied in roughly one server-response time via the fast
+// response queue, while only queries for files that do not exist pay
+// the full delay.
+func E9FastResponse(s Scale) Table {
+	n := s.pick(40, 300)
+	cl, err := quickCluster(8, 64)
+	t := Table{
+		ID:     "E9",
+		Title:  "fast response queue: existing vs nonexistent files",
+		Claim:  "existing files resolve in ~server-response time; only misses pay the full delay (III-B)",
+		Header: []string{"case", "n", "mean", "p50", "p99"},
+	}
+	if err != nil {
+		t.Notes = append(t.Notes, err.Error())
+		return t
+	}
+	defer cl.Stop()
+	c := cl.NewClient()
+	defer c.Close()
+
+	hits := make([]time.Duration, 0, n)
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("/store/e9/hit%04d", i)
+		cl.Store(i%8).Put(p, []byte("x"))
+		start := time.Now()
+		if _, err := c.Locate(p, false); err == nil {
+			hits = append(hits, time.Since(start))
+		}
+	}
+	misses := make([]time.Duration, 0, n/4)
+	for i := 0; i < n/4; i++ {
+		p := fmt.Sprintf("/store/e9/miss%04d", i)
+		start := time.Now()
+		c.Locate(p, false) // ErrNotExist after the full delay
+		misses = append(misses, time.Since(start))
+	}
+	t.Rows = append(t.Rows,
+		[]string{"existing (fast response)", fmt.Sprint(len(hits)), fmtDur(meanOf(hits)),
+			fmtDur(percentileOf(hits, 0.5)), fmtDur(percentileOf(hits, 0.99))},
+		[]string{"nonexistent (full delay)", fmt.Sprint(len(misses)), fmtMs(meanOf(misses)),
+			fmtMs(percentileOf(misses, 0.5)), fmtMs(percentileOf(misses, 0.99))},
+	)
+	t.Notes = append(t.Notes,
+		"full delay configured at 250ms for the run (paper default: 5s); fast window 25ms (paper: 133ms)")
+	return t
+}

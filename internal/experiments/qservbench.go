@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scalla/internal/cache"
+	"scalla/internal/cmsd"
+	"scalla/internal/proto"
+	"scalla/internal/qserv"
+	"scalla/internal/respq"
+	"scalla/internal/transport"
+)
+
+// E16Qserv reproduces Section IV-B: Scalla as Qserv's distributed
+// dispatch layer. Chunk queries fan out to whichever workers publish
+// the chunk paths — with no cluster configuration at the master — and
+// full-scan latency drops as workers are added.
+func E16Qserv(s Scale) Table {
+	numChunks := 16
+	rows := s.pick(2_000, 20_000)
+	queries := s.pick(3, 10)
+	t := Table{
+		ID:     "E16",
+		Title:  "Qserv dispatch over Scalla: full-scan scaling with workers",
+		Claim:  "path-per-partition gives masters a channel to the right worker; no cluster config (IV-B)",
+		Header: []string{"workers", "chunks", "rows total", "full-scan latency", "speedup"},
+	}
+
+	var base time.Duration
+	for _, nWorkers := range []int{1, 2, 4, 8} {
+		net := transport.NewInProc(transport.InProcConfig{})
+		mgr, err := cmsd.NewNode(cmsd.NodeConfig{
+			Name: "mgr", Role: proto.RoleManager,
+			DataAddr: "mgr:data", CtlAddr: "mgr:ctl", Net: net,
+			Core: cmsd.Config{
+				Cache:     cache.Config{},
+				Queue:     respq.Config{Period: 20 * time.Millisecond},
+				FullDelay: 200 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			return t
+		}
+		if err := mgr.Start(); err != nil {
+			t.Notes = append(t.Notes, err.Error())
+			return t
+		}
+
+		chunks := make([]*qserv.Chunk, numChunks)
+		for i := range chunks {
+			chunks[i] = qserv.GenChunk(i, numChunks, rows, 99)
+		}
+		var workers []*qserv.Worker
+		for w := 0; w < nWorkers; w++ {
+			var mine []*qserv.Chunk
+			for ci := w; ci < numChunks; ci += nWorkers {
+				mine = append(mine, chunks[ci])
+			}
+			wk, err := qserv.NewWorker(qserv.WorkerConfig{
+				Name: fmt.Sprintf("worker%02d", w), Net: net,
+				Parents: []string{"mgr:ctl"}, Chunks: mine,
+			})
+			if err != nil {
+				t.Notes = append(t.Notes, err.Error())
+				return t
+			}
+			workers = append(workers, wk)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for mgr.Core().Table().Count() < nWorkers && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		master := qserv.NewMaster(qserv.MasterConfig{
+			Net: net, Managers: []string{"mgr:data"},
+			PollInterval: 5 * time.Millisecond,
+		})
+		all := make([]int, numChunks)
+		for i := range all {
+			all[i] = i
+		}
+
+		// Warm one query (marker discovery), then measure.
+		if _, err := master.Query("COUNT", all); err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("%d workers: %v", nWorkers, err))
+		}
+		start := time.Now()
+		for q := 0; q < queries; q++ {
+			if _, err := master.Query("COUNT WHERE mag < 20 AND decl > -45", all); err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("%d workers: %v", nWorkers, err))
+				break
+			}
+		}
+		lat := time.Since(start) / time.Duration(queries)
+		if nWorkers == 1 {
+			base = lat
+		}
+		speedup := "1.0x"
+		if base > 0 && lat > 0 && nWorkers > 1 {
+			speedup = fmt.Sprintf("%.1fx", float64(base)/float64(lat))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(nWorkers), fmt.Sprint(numChunks),
+			fmt.Sprint(numChunks * rows), fmtMs(lat), speedup,
+		})
+
+		master.Close()
+		for _, wk := range workers {
+			wk.Stop()
+		}
+		mgr.Stop()
+	}
+	return t
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID:     "EX",
+		Title:  "demo",
+		Claim:  "a claim",
+		Header: []string{"col", "value with width"},
+		Rows: [][]string{
+			{"a", "1"},
+			{"much longer cell", "2"},
+		},
+		Notes: []string{"first note", "second note"},
+	}
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 { // title, claim, header, separator, 2 rows, 2 notes
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "EX — demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if lines[1] != "paper: a claim" {
+		t.Errorf("claim line = %q", lines[1])
+	}
+	// Columns align: every data row's second column starts at the same
+	// offset as the header's.
+	hdrOff := strings.Index(lines[2], "value with width")
+	if hdrOff < 0 {
+		t.Fatalf("header = %q", lines[2])
+	}
+	if got := strings.Index(lines[4], "1"); got != hdrOff {
+		t.Errorf("row 1 column offset %d, want %d", got, hdrOff)
+	}
+	if !strings.HasPrefix(lines[3], "---") {
+		t.Errorf("separator = %q", lines[3])
+	}
+	if lines[6] != "note: first note" || lines[7] != "note: second note" {
+		t.Errorf("notes = %q, %q", lines[6], lines[7])
+	}
+}
+
+func TestDescribeCoversAllIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if Describe(id) == "" {
+			t.Errorf("Describe(%s) empty", id)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package fib provides Fibonacci-number table sizing for the location
+// cache.
+//
+// The paper (Section III-A1) sizes the location hash table to a Fibonacci
+// number of entries and grows it to the subsequent Fibonacci number when
+// occupancy reaches 80%. CRC32 keys reduced modulo a Fibonacci number were
+// observed to disperse far more uniformly than modulo a power of two
+// (footnote 4); experiment E4 reproduces that observation.
+package fib
+
+// sequence holds the Fibonacci numbers that fit in an int64, starting
+// from 1, 2 (we skip the duplicate leading 1 so sizes are strictly
+// increasing).
+var sequence = buildSequence()
+
+func buildSequence() []int64 {
+	seq := make([]int64, 0, 92)
+	a, b := int64(1), int64(2)
+	for a > 0 { // stops on overflow to negative
+		seq = append(seq, a)
+		a, b = b, a+b
+	}
+	return seq
+}
+
+// Seq returns the strictly increasing Fibonacci sequence 1, 2, 3, 5, 8, …
+// up to the largest value representable in an int64. The returned slice
+// must not be modified.
+func Seq() []int64 { return sequence }
+
+// AtLeast returns the smallest Fibonacci number >= n. For n <= 1 it
+// returns 1. It panics if n exceeds the largest representable Fibonacci
+// number (which cannot happen for realistic table sizes).
+func AtLeast(n int64) int64 {
+	for _, f := range sequence {
+		if f >= n {
+			return f
+		}
+	}
+	panic("fib: size out of range")
+}
+
+// Next returns the smallest Fibonacci number strictly greater than n.
+func Next(n int64) int64 {
+	for _, f := range sequence {
+		if f > n {
+			return f
+		}
+	}
+	panic("fib: size out of range")
+}
+
+// IsFib reports whether n is a member of the sequence.
+func IsFib(n int64) bool {
+	for _, f := range sequence {
+		if f == n {
+			return true
+		}
+		if f > n {
+			return false
+		}
+	}
+	return false
+}

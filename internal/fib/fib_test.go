@@ -1,0 +1,104 @@
+package fib
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqPrefix(t *testing.T) {
+	want := []int64{1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144}
+	got := Seq()
+	if len(got) < len(want) {
+		t.Fatalf("sequence too short: %d", len(got))
+	}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("Seq[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+func TestSeqStrictlyIncreasingAndRecurrent(t *testing.T) {
+	s := Seq()
+	for i := 2; i < len(s); i++ {
+		if s[i] != s[i-1]+s[i-2] {
+			t.Fatalf("recurrence broken at %d: %d != %d + %d", i, s[i], s[i-1], s[i-2])
+		}
+		if s[i] <= s[i-1] {
+			t.Fatalf("not increasing at %d", i)
+		}
+	}
+}
+
+func TestAtLeast(t *testing.T) {
+	cases := []struct{ n, want int64 }{
+		{-5, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 3}, {4, 5},
+		{8, 8}, {9, 13}, {100, 144}, {1000, 1597},
+	}
+	for _, c := range cases {
+		if got := AtLeast(c.n); got != c.want {
+			t.Errorf("AtLeast(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestNext(t *testing.T) {
+	cases := []struct{ n, want int64 }{
+		{0, 1}, {1, 2}, {2, 3}, {3, 5}, {8, 13}, {13, 21}, {144, 233},
+	}
+	for _, c := range cases {
+		if got := Next(c.n); got != c.want {
+			t.Errorf("Next(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIsFib(t *testing.T) {
+	for _, f := range Seq()[:40] {
+		if !IsFib(f) {
+			t.Errorf("IsFib(%d) = false", f)
+		}
+	}
+	for _, n := range []int64{4, 6, 7, 9, 10, 100, 1000} {
+		if IsFib(n) {
+			t.Errorf("IsFib(%d) = true", n)
+		}
+	}
+}
+
+// Property: AtLeast(n) is a Fibonacci number >= n, and the previous
+// Fibonacci number (if any) is < n.
+func TestPropAtLeastTight(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := int64(raw)
+		got := AtLeast(n)
+		if !IsFib(got) || got < n {
+			return false
+		}
+		// No smaller Fibonacci number satisfies >= n.
+		for _, fb := range Seq() {
+			if fb >= got {
+				break
+			}
+			if fb >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Next(n) > n and is Fibonacci.
+func TestPropNext(t *testing.T) {
+	f := func(raw uint32) bool {
+		n := int64(raw)
+		got := Next(n)
+		return got > n && IsFib(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package metrics provides the counters and latency histograms used by
+// the benchmark harness and by the daemons' status reporting.
+//
+// The histogram uses logarithmically spaced buckets (sub-microsecond to
+// minutes) so the harness can report the latency shapes the paper quotes
+// (50 µs per tree level, 100 µs server response, 133 ms guard window,
+// 5 s full delay) without retaining every sample.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative for gauges built on Counter, but the
+// harness only uses non-negative deltas).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram records durations into log-spaced buckets.
+// The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [nBuckets]int64
+}
+
+// Bucket i covers [base*ratio^i, base*ratio^(i+1)). base = 100ns,
+// ratio = 2 → covers 100 ns .. ~100 ns * 2^40 ≈ 3 hours.
+const (
+	nBuckets = 44
+	baseNs   = 100
+)
+
+func bucketOf(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < baseNs {
+		return 0
+	}
+	b := int(math.Log2(float64(ns) / baseNs))
+	if b >= nBuckets {
+		return nBuckets - 1
+	}
+	return b
+}
+
+// bucketLow returns the lower bound of bucket i.
+func bucketLow(i int) time.Duration {
+	return time.Duration(baseNs * math.Pow(2, float64(i)))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[bucketOf(d)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observed duration (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation (0 if empty).
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation (0 if empty).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) using the
+// lower bound of the containing bucket — a conservative estimate adequate
+// for the order-of-magnitude comparisons in the harness.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := int64(q * float64(h.count))
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum > rank {
+			lo := bucketLow(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Snapshot is an immutable summary of a histogram.
+type Snapshot struct {
+	Count          int64
+	Mean, Min, Max time.Duration
+	P50, P90, P99  time.Duration
+}
+
+// Snapshot returns a point-in-time summary.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Registry is a named collection of counters and histograms, used by the
+// daemons' status endpoints and by the bench harness.
+type Registry struct {
+	mu    sync.Mutex
+	ctrs  map[string]*Counter
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ctrs: map[string]*Counter{}, hists: map[string]*Histogram{}}
+}
+
+// Counter returns (creating if needed) the counter with the given name.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.ctrs[name]
+	if !ok {
+		c = &Counter{}
+		r.ctrs[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating if needed) the histogram with the given name.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Dump renders all metrics, sorted by name, one per line.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.ctrs {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
+	}
+	for name, h := range r.hists {
+		lines = append(lines, fmt.Sprintf("hist    %s : %s", name, h.Snapshot()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("Value = %d, want 8000", c.Value())
+	}
+	c.Add(42)
+	if c.Value() != 8042 {
+		t.Errorf("Value = %d, want 8042", c.Value())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{time.Millisecond, 3 * time.Millisecond, 2 * time.Millisecond} {
+		h.Observe(d)
+	}
+	if h.Count() != 3 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Errorf("Mean = %v", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50, p90, p99 := h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)
+	if p50 > p90 || p90 > p99 {
+		t.Errorf("quantiles not monotone: %v %v %v", p50, p90, p99)
+	}
+	// Log-bucket estimate: p50 of uniform 1..1000us should land within
+	// a factor of 2 of 500us (bucket lower bound).
+	if p50 < 250*time.Microsecond || p50 > time.Millisecond {
+		t.Errorf("p50 = %v, want within [250us, 1ms]", p50)
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Error("Quantile(0/1) must be Min/Max")
+	}
+}
+
+func TestHistogramQuantileClampedToMinMax(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got := h.Quantile(q); got != time.Second {
+			t.Errorf("Quantile(%v) = %v, want 1s", q, got)
+		}
+	}
+}
+
+func TestHistogramTinyAndHugeDurations(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Nanosecond) // below base: bucket 0
+	h.Observe(10 * time.Hour)  // above top: clamped to last bucket
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Min() != time.Nanosecond || h.Max() != 10*time.Hour {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	s := h.Snapshot().String()
+	if !strings.Contains(s, "n=1") {
+		t.Errorf("Snapshot.String = %q", s)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("lookups")
+	c2 := r.Counter("lookups")
+	if c1 != c2 {
+		t.Error("Counter must return the same instance for the same name")
+	}
+	c1.Inc()
+	h := r.Histogram("latency")
+	h.Observe(time.Millisecond)
+	if r.Histogram("latency") != h {
+		t.Error("Histogram must return the same instance for the same name")
+	}
+	dump := r.Dump()
+	if !strings.Contains(dump, "lookups = 1") || !strings.Contains(dump, "latency") {
+		t.Errorf("Dump = %q", dump)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+}

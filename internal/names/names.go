@@ -1,0 +1,112 @@
+// Package names implements file-name hashing and path-prefix matching.
+//
+// The cache keys location objects by a CRC32 encoding of the file name
+// (paper Section III-A1). Managers and supervisors treat paths as simple
+// prefixes of a flat namespace (Section II-B4): a server "exports" a set
+// of path prefixes at login and is eligible for any file whose path falls
+// under one of them.
+package names
+
+import (
+	"hash/crc32"
+	"strings"
+)
+
+// Hash returns the CRC32 (IEEE) key for a file name, exactly the keying
+// the paper prescribes for the location hash table.
+func Hash(name string) uint32 {
+	return crc32.ChecksumIEEE([]byte(name))
+}
+
+// Clean normalizes a path for prefix matching: it guarantees a single
+// leading slash and strips any trailing slash (except for the root "/").
+// Unlike POSIX path cleaning it does NOT resolve "." or ".." — the
+// manager-level namespace is flat and treats paths as opaque prefixes.
+func Clean(p string) string {
+	if p == "" {
+		return "/"
+	}
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	for len(p) > 1 && strings.HasSuffix(p, "/") {
+		p = p[:len(p)-1]
+	}
+	return p
+}
+
+// HasPrefix reports whether path falls under prefix in the flat-namespace
+// sense: prefix "/a/b" matches "/a/b" itself and anything under
+// "/a/b/...", but not "/a/bc". The root prefix "/" matches everything.
+func HasPrefix(path, prefix string) bool {
+	path, prefix = Clean(path), Clean(prefix)
+	if prefix == "/" {
+		return true
+	}
+	if !strings.HasPrefix(path, prefix) {
+		return false
+	}
+	return len(path) == len(prefix) || path[len(prefix)] == '/'
+}
+
+// PrefixSet is an ordered set of cleaned path prefixes, as declared by a
+// server at login time. The zero value is an empty set that matches
+// nothing.
+type PrefixSet struct {
+	prefixes []string
+}
+
+// NewPrefixSet builds a PrefixSet from the given prefixes, cleaning each
+// and dropping duplicates while preserving first-seen order.
+func NewPrefixSet(prefixes ...string) PrefixSet {
+	var ps PrefixSet
+	seen := make(map[string]bool, len(prefixes))
+	for _, p := range prefixes {
+		c := Clean(p)
+		if !seen[c] {
+			seen[c] = true
+			ps.prefixes = append(ps.prefixes, c)
+		}
+	}
+	return ps
+}
+
+// Matches reports whether path falls under any prefix in the set.
+func (ps PrefixSet) Matches(path string) bool {
+	for _, p := range ps.prefixes {
+		if HasPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefixes returns the cleaned prefixes in first-seen order. The returned
+// slice must not be modified.
+func (ps PrefixSet) Prefixes() []string { return ps.prefixes }
+
+// Len returns the number of prefixes in the set.
+func (ps PrefixSet) Len() int { return len(ps.prefixes) }
+
+// Equal reports whether two sets contain exactly the same prefixes,
+// regardless of order. The paper uses this at reconnect time: a server
+// that reconnects within the drop window but with a different export set
+// must be treated as a brand-new server.
+func (ps PrefixSet) Equal(o PrefixSet) bool {
+	if len(ps.prefixes) != len(o.prefixes) {
+		return false
+	}
+	seen := make(map[string]bool, len(ps.prefixes))
+	for _, p := range ps.prefixes {
+		seen[p] = true
+	}
+	for _, p := range o.prefixes {
+		if !seen[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as a comma-separated list.
+func (ps PrefixSet) String() string { return strings.Join(ps.prefixes, ",") }

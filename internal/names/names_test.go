@@ -1,0 +1,139 @@
+package names
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashMatchesCRC32(t *testing.T) {
+	for _, s := range []string{"", "/a", "/store/data/file.root"} {
+		if Hash(s) != crc32.ChecksumIEEE([]byte(s)) {
+			t.Errorf("Hash(%q) mismatch", s)
+		}
+	}
+}
+
+func TestClean(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "/"},
+		{"/", "/"},
+		{"a", "/a"},
+		{"/a/", "/a"},
+		{"/a//", "/a"},
+		{"/a/b", "/a/b"},
+		{"a/b/", "/a/b"},
+	}
+	for _, c := range cases {
+		if got := Clean(c.in); got != c.want {
+			t.Errorf("Clean(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHasPrefix(t *testing.T) {
+	cases := []struct {
+		path, prefix string
+		want         bool
+	}{
+		{"/a/b/c", "/a/b", true},
+		{"/a/b", "/a/b", true},
+		{"/a/bc", "/a/b", false},
+		{"/a", "/a/b", false},
+		{"/anything", "/", true},
+		{"/", "/", true},
+		{"/store/x.root", "/store", true},
+		{"/storeroom/x.root", "/store", false},
+	}
+	for _, c := range cases {
+		if got := HasPrefix(c.path, c.prefix); got != c.want {
+			t.Errorf("HasPrefix(%q, %q) = %v, want %v", c.path, c.prefix, got, c.want)
+		}
+	}
+}
+
+func TestPrefixSet(t *testing.T) {
+	ps := NewPrefixSet("/store", "/data/", "/store")
+	if ps.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (dedup)", ps.Len())
+	}
+	if !ps.Matches("/store/a/b.root") {
+		t.Error("should match /store/a/b.root")
+	}
+	if !ps.Matches("/data/x") {
+		t.Error("should match /data/x")
+	}
+	if ps.Matches("/other/x") {
+		t.Error("should not match /other/x")
+	}
+}
+
+func TestPrefixSetZeroValueMatchesNothing(t *testing.T) {
+	var ps PrefixSet
+	if ps.Matches("/a") || ps.Matches("/") {
+		t.Error("zero-value PrefixSet must match nothing")
+	}
+}
+
+func TestPrefixSetEqual(t *testing.T) {
+	a := NewPrefixSet("/a", "/b")
+	b := NewPrefixSet("/b", "/a/")
+	c := NewPrefixSet("/a")
+	d := NewPrefixSet("/a", "/c")
+	if !a.Equal(b) {
+		t.Error("order/cleaning must not matter for Equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("different sets compared equal")
+	}
+}
+
+func TestPrefixSetString(t *testing.T) {
+	if got := NewPrefixSet("/a", "/b").String(); got != "/a,/b" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: Clean is idempotent.
+func TestPropCleanIdempotent(t *testing.T) {
+	f := func(s string) bool { return Clean(Clean(s)) == Clean(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every path matches itself as a prefix, and matches "/".
+func TestPropSelfPrefix(t *testing.T) {
+	f := func(s string) bool {
+		return HasPrefix(s, s) && HasPrefix(s, "/")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: if HasPrefix(p, q) then any extension of p under another
+// component still has prefix q.
+func TestPropPrefixExtends(t *testing.T) {
+	f := func(s string) bool {
+		p := Clean(s)
+		return HasPrefix(p+"/child", p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	name := "/store/user/ddmuser/run2012B/AOD/file-000123.root"
+	for i := 0; i < b.N; i++ {
+		_ = Hash(name)
+	}
+}
+
+func BenchmarkPrefixMatch(b *testing.B) {
+	ps := NewPrefixSet("/store", "/data", "/user", "/tmp")
+	for i := 0; i < b.N; i++ {
+		_ = ps.Matches("/user/abh/analysis/ntuple-99.root")
+	}
+}

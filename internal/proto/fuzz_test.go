@@ -1,0 +1,31 @@
+package proto
+
+import "testing"
+
+// FuzzUnmarshal feeds arbitrary frames to the decoder. Without -fuzz it
+// runs the seed corpus as a unit test; with `go test -fuzz=FuzzUnmarshal
+// ./internal/proto` it explores mutations. The decoder must never panic
+// and every successful decode must re-encode to something decodable.
+func FuzzUnmarshal(f *testing.F) {
+	for _, m := range all() {
+		f.Add(Marshal(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{byte(KLogin)})
+	f.Add([]byte{byte(KData), 0, 0, 0})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		m, err := Unmarshal(frame)
+		if err != nil {
+			return
+		}
+		// Round-trippable: re-marshal and re-unmarshal.
+		again, err := Unmarshal(Marshal(m))
+		if err != nil {
+			t.Fatalf("re-decode failed for %#v: %v", m, err)
+		}
+		if again.Kind() != m.Kind() {
+			t.Fatalf("kind changed across round trip: %v -> %v", m.Kind(), again.Kind())
+		}
+	})
+}

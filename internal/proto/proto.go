@@ -1,0 +1,660 @@
+// Package proto defines the wire messages exchanged by Scalla daemons
+// and clients, with a compact binary encoding.
+//
+// Two planes share the framing. The control plane runs between cmsd
+// instances (login, file queries, positive-only responses, load
+// reports). The data plane runs between clients and xrootd/cmsd
+// (locate/redirect, open/read/write/close/stat/prepare). A frame is one
+// message: a single kind byte followed by the message's fields in
+// big-endian order with varint-prefixed byte strings.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind identifies a message type on the wire.
+type Kind uint8
+
+// Control-plane kinds (cmsd ↔ cmsd).
+const (
+	KLogin Kind = iota + 1
+	KLoginOK
+	KLoginRej
+	KQuery
+	KHave
+	KPing
+	KPong
+	// KHaveNot exists only for the respond-always baseline of
+	// experiment E10; Scalla proper never sends negative responses.
+	KHaveNot
+)
+
+// Data-plane kinds (client ↔ xrootd/cmsd).
+const (
+	KLocate Kind = iota + 32
+	KRedirect
+	KWait
+	KErr
+	KOpen
+	KOpenOK
+	KRead
+	KData
+	KWrite
+	KWriteOK
+	KClose
+	KCloseOK
+	KStat
+	KStatOK
+	KPrepare
+	KPrepareOK
+	KUnlink
+	KUnlinkOK
+	KList
+	KListOK
+	KTrunc
+	KTruncOK
+)
+
+// Role is a node's position in the 64-ary tree.
+type Role uint8
+
+const (
+	RoleServer Role = iota + 1
+	RoleSupervisor
+	RoleManager
+)
+
+func (r Role) String() string {
+	switch r {
+	case RoleServer:
+		return "server"
+	case RoleSupervisor:
+		return "supervisor"
+	case RoleManager:
+		return "manager"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Error codes carried by Err.
+const (
+	ENoEnt    = 2  // file does not exist
+	EIO       = 5  // I/O failure
+	EExist    = 17 // create of an existing file
+	EInval    = 22 // malformed request
+	EBusy     = 16 // resource contention; retry later
+	ENotReady = 11 // staging in progress; retry after wait
+)
+
+// Message is implemented by every wire message.
+type Message interface{ Kind() Kind }
+
+// ----------------------------------------------------------- control --
+
+// Login is a subordinate's first message on a control connection: it
+// declares the node's role, public data-plane address, and exported path
+// prefixes. Registration deliberately carries no file manifest — the
+// paper's "extremely light" registration (Section V).
+type Login struct {
+	Role     Role
+	Name     string // stable node identity (survives reconnect)
+	DataAddr string // address clients are redirected to
+	CtlAddr  string // address subordinate cmsds dial (supervisors)
+	Prefixes []string
+	Free     int64  // free space, for selection
+	Load     uint32 // load estimate, for selection
+}
+
+func (Login) Kind() Kind { return KLogin }
+
+// LoginOK acknowledges a Login and tells the subordinate its index in
+// the parent's 64-wide set.
+type LoginOK struct {
+	Index uint8
+}
+
+func (LoginOK) Kind() Kind { return KLoginOK }
+
+// LoginRej refuses a Login (set full, duplicate name, bad role).
+type LoginRej struct {
+	Reason string
+}
+
+func (LoginRej) Kind() Kind { return KLoginRej }
+
+// Query asks a subordinate whether it has a file. Subordinates answer
+// only positively (request-rarely-respond); silence means "no".
+type Query struct {
+	QID   uint64
+	Path  string
+	Hash  uint32 // CRC32 of Path, computed once at the top
+	Write bool   // access mode the client wants
+}
+
+func (Query) Kind() Kind { return KQuery }
+
+// Have is the positive answer to a Query: the sender has the file
+// (Pending=false) or is staging it (Pending=true).
+type Have struct {
+	QID      uint64
+	Path     string
+	Hash     uint32
+	Pending  bool
+	CanWrite bool
+}
+
+func (Have) Kind() Kind { return KHave }
+
+// HaveNot is the explicit negative answer used ONLY by the
+// respond-always protocol baseline (experiment E10). The production
+// protocol treats silence as "no" (Section III-B).
+type HaveNot struct {
+	QID  uint64
+	Path string
+	Hash uint32
+}
+
+func (HaveNot) Kind() Kind { return KHaveNot }
+
+// Ping solicits a Pong; it doubles as the liveness probe.
+type Ping struct{}
+
+func (Ping) Kind() Kind { return KPing }
+
+// Pong reports current load and free space for server selection.
+type Pong struct {
+	Load uint32
+	Free int64
+}
+
+func (Pong) Kind() Kind { return KPong }
+
+// -------------------------------------------------------------- data --
+
+// Locate asks a manager/supervisor for a server that can satisfy the
+// given access. Refresh requests a cache refresh, naming the Avoid host
+// that failed (Section III-C1).
+type Locate struct {
+	Path    string
+	Write   bool
+	Create  bool
+	Refresh bool
+	Avoid   string
+}
+
+func (Locate) Kind() Kind { return KLocate }
+
+// Redirect vectors the client at a subordinate node.
+type Redirect struct {
+	Addr    string
+	CtlAddr string // non-empty when Addr is itself a redirector
+	Pending bool   // target is staging the file; expect a wait there
+}
+
+func (Redirect) Kind() Kind { return KRedirect }
+
+// Wait tells the client to pause and retry the same request.
+type Wait struct {
+	Millis uint32
+}
+
+func (Wait) Kind() Kind { return KWait }
+
+// Err reports failure of the preceding request.
+type Err struct {
+	Code uint32
+	Msg  string
+}
+
+func (Err) Kind() Kind { return KErr }
+
+// Open opens a file on a data server.
+type Open struct {
+	Path   string
+	Write  bool
+	Create bool
+}
+
+func (Open) Kind() Kind { return KOpen }
+
+// OpenOK returns the file handle for subsequent I/O.
+type OpenOK struct {
+	FH   uint64
+	Size int64
+}
+
+func (OpenOK) Kind() Kind { return KOpenOK }
+
+// Read requests N bytes at Off.
+type Read struct {
+	FH  uint64
+	Off int64
+	N   uint32
+}
+
+func (Read) Kind() Kind { return KRead }
+
+// Data answers a Read. EOF marks the end of file.
+type Data struct {
+	FH    uint64
+	Bytes []byte
+	EOF   bool
+}
+
+func (Data) Kind() Kind { return KData }
+
+// Write writes bytes at Off.
+type Write struct {
+	FH    uint64
+	Off   int64
+	Bytes []byte
+}
+
+func (Write) Kind() Kind { return KWrite }
+
+// WriteOK acknowledges a Write.
+type WriteOK struct {
+	FH uint64
+	N  uint32
+}
+
+func (WriteOK) Kind() Kind { return KWriteOK }
+
+// Close releases a file handle.
+type Close struct {
+	FH uint64
+}
+
+func (Close) Kind() Kind { return KClose }
+
+// CloseOK acknowledges a Close.
+type CloseOK struct {
+	FH uint64
+}
+
+func (CloseOK) Kind() Kind { return KCloseOK }
+
+// Stat queries file metadata.
+type Stat struct {
+	Path string
+}
+
+func (Stat) Kind() Kind { return KStat }
+
+// StatOK answers a Stat.
+type StatOK struct {
+	Exists bool
+	Size   int64
+	Online bool // false while the file sits only in mass storage
+}
+
+func (StatOK) Kind() Kind { return KStatOK }
+
+// Prepare announces files that will be needed soon, spawning parallel
+// background look-ups/staging (Section III-B2).
+type Prepare struct {
+	Paths []string
+	Write bool
+}
+
+func (Prepare) Kind() Kind { return KPrepare }
+
+// PrepareOK acknowledges a Prepare; the work continues asynchronously.
+type PrepareOK struct {
+	Queued uint32
+}
+
+func (PrepareOK) Kind() Kind { return KPrepareOK }
+
+// Unlink removes a file.
+type Unlink struct {
+	Path string
+}
+
+func (Unlink) Kind() Kind { return KUnlink }
+
+// UnlinkOK acknowledges an Unlink.
+type UnlinkOK struct{}
+
+func (UnlinkOK) Kind() Kind { return KUnlinkOK }
+
+// List asks a data server for the files it holds under a prefix. Scalla
+// proper never uses it on the resolution path — global listing is the
+// job of the separate Cluster Name Space daemon (paper footnote 3,
+// Section V).
+type List struct {
+	Prefix string
+}
+
+func (List) Kind() Kind { return KList }
+
+// Entry is one row of a ListOK reply.
+type Entry struct {
+	Path   string
+	Size   int64
+	Online bool
+}
+
+// ListOK answers a List.
+type ListOK struct {
+	Entries []Entry
+}
+
+func (ListOK) Kind() Kind { return KListOK }
+
+// Trunc resizes an open file.
+type Trunc struct {
+	FH   uint64
+	Size int64
+}
+
+func (Trunc) Kind() Kind { return KTrunc }
+
+// TruncOK acknowledges a Trunc.
+type TruncOK struct {
+	FH uint64
+}
+
+func (TruncOK) Kind() Kind { return KTruncOK }
+
+// ---------------------------------------------------------- encoding --
+
+var errTruncated = errors.New("proto: truncated message")
+
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *writer) i64(v int64)  { w.u64(uint64(v)) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) bytes(v []byte) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *writer) str(v string) { w.bytes([]byte(v)) }
+func (w *writer) strs(vs []string) {
+	w.u32(uint32(len(vs)))
+	for _, v := range vs {
+		w.str(v)
+	}
+}
+
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.err = errTruncated
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.err = errTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.err = errTruncated
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+func (r *reader) bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	n, sz := binary.Uvarint(r.b)
+	if sz <= 0 || uint64(len(r.b)-sz) < n {
+		r.err = errTruncated
+		return nil
+	}
+	v := r.b[sz : sz+int(n)]
+	r.b = r.b[sz+int(n):]
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) strs() []string {
+	n := r.u32()
+	if r.err != nil || uint64(n) > uint64(len(r.b)) {
+		r.err = errTruncated
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+// Marshal encodes m into a frame.
+func Marshal(m Message) []byte {
+	w := writer{b: make([]byte, 0, 64)}
+	w.u8(uint8(m.Kind()))
+	switch v := m.(type) {
+	case Login:
+		w.u8(uint8(v.Role))
+		w.str(v.Name)
+		w.str(v.DataAddr)
+		w.str(v.CtlAddr)
+		w.strs(v.Prefixes)
+		w.i64(v.Free)
+		w.u32(v.Load)
+	case LoginOK:
+		w.u8(v.Index)
+	case LoginRej:
+		w.str(v.Reason)
+	case Query:
+		w.u64(v.QID)
+		w.str(v.Path)
+		w.u32(v.Hash)
+		w.boolean(v.Write)
+	case Have:
+		w.u64(v.QID)
+		w.str(v.Path)
+		w.u32(v.Hash)
+		w.boolean(v.Pending)
+		w.boolean(v.CanWrite)
+	case HaveNot:
+		w.u64(v.QID)
+		w.str(v.Path)
+		w.u32(v.Hash)
+	case Ping:
+	case Pong:
+		w.u32(v.Load)
+		w.i64(v.Free)
+	case Locate:
+		w.str(v.Path)
+		w.boolean(v.Write)
+		w.boolean(v.Create)
+		w.boolean(v.Refresh)
+		w.str(v.Avoid)
+	case Redirect:
+		w.str(v.Addr)
+		w.str(v.CtlAddr)
+		w.boolean(v.Pending)
+	case Wait:
+		w.u32(v.Millis)
+	case Err:
+		w.u32(v.Code)
+		w.str(v.Msg)
+	case Open:
+		w.str(v.Path)
+		w.boolean(v.Write)
+		w.boolean(v.Create)
+	case OpenOK:
+		w.u64(v.FH)
+		w.i64(v.Size)
+	case Read:
+		w.u64(v.FH)
+		w.i64(v.Off)
+		w.u32(v.N)
+	case Data:
+		w.u64(v.FH)
+		w.bytes(v.Bytes)
+		w.boolean(v.EOF)
+	case Write:
+		w.u64(v.FH)
+		w.i64(v.Off)
+		w.bytes(v.Bytes)
+	case WriteOK:
+		w.u64(v.FH)
+		w.u32(v.N)
+	case Close:
+		w.u64(v.FH)
+	case CloseOK:
+		w.u64(v.FH)
+	case Stat:
+		w.str(v.Path)
+	case StatOK:
+		w.boolean(v.Exists)
+		w.i64(v.Size)
+		w.boolean(v.Online)
+	case Prepare:
+		w.strs(v.Paths)
+		w.boolean(v.Write)
+	case PrepareOK:
+		w.u32(v.Queued)
+	case Unlink:
+		w.str(v.Path)
+	case UnlinkOK:
+	case List:
+		w.str(v.Prefix)
+	case ListOK:
+		w.u32(uint32(len(v.Entries)))
+		for _, e := range v.Entries {
+			w.str(e.Path)
+			w.i64(e.Size)
+			w.boolean(e.Online)
+		}
+	case Trunc:
+		w.u64(v.FH)
+		w.i64(v.Size)
+	case TruncOK:
+		w.u64(v.FH)
+	default:
+		panic(fmt.Sprintf("proto: unknown message %T", m))
+	}
+	return w.b
+}
+
+// Unmarshal decodes one frame.
+func Unmarshal(frame []byte) (Message, error) {
+	if len(frame) < 1 {
+		return nil, errTruncated
+	}
+	r := reader{b: frame[1:]}
+	var m Message
+	switch Kind(frame[0]) {
+	case KLogin:
+		m = Login{
+			Role: Role(r.u8()), Name: r.str(), DataAddr: r.str(),
+			CtlAddr: r.str(), Prefixes: r.strs(), Free: r.i64(), Load: r.u32(),
+		}
+	case KLoginOK:
+		m = LoginOK{Index: r.u8()}
+	case KLoginRej:
+		m = LoginRej{Reason: r.str()}
+	case KQuery:
+		m = Query{QID: r.u64(), Path: r.str(), Hash: r.u32(), Write: r.boolean()}
+	case KHave:
+		m = Have{QID: r.u64(), Path: r.str(), Hash: r.u32(), Pending: r.boolean(), CanWrite: r.boolean()}
+	case KHaveNot:
+		m = HaveNot{QID: r.u64(), Path: r.str(), Hash: r.u32()}
+	case KPing:
+		m = Ping{}
+	case KPong:
+		m = Pong{Load: r.u32(), Free: r.i64()}
+	case KLocate:
+		m = Locate{Path: r.str(), Write: r.boolean(), Create: r.boolean(), Refresh: r.boolean(), Avoid: r.str()}
+	case KRedirect:
+		m = Redirect{Addr: r.str(), CtlAddr: r.str(), Pending: r.boolean()}
+	case KWait:
+		m = Wait{Millis: r.u32()}
+	case KErr:
+		m = Err{Code: r.u32(), Msg: r.str()}
+	case KOpen:
+		m = Open{Path: r.str(), Write: r.boolean(), Create: r.boolean()}
+	case KOpenOK:
+		m = OpenOK{FH: r.u64(), Size: r.i64()}
+	case KRead:
+		m = Read{FH: r.u64(), Off: r.i64(), N: r.u32()}
+	case KData:
+		m = Data{FH: r.u64(), Bytes: r.bytes(), EOF: r.boolean()}
+	case KWrite:
+		m = Write{FH: r.u64(), Off: r.i64(), Bytes: r.bytes()}
+	case KWriteOK:
+		m = WriteOK{FH: r.u64(), N: r.u32()}
+	case KClose:
+		m = Close{FH: r.u64()}
+	case KCloseOK:
+		m = CloseOK{FH: r.u64()}
+	case KStat:
+		m = Stat{Path: r.str()}
+	case KStatOK:
+		m = StatOK{Exists: r.boolean(), Size: r.i64(), Online: r.boolean()}
+	case KPrepare:
+		m = Prepare{Paths: r.strs(), Write: r.boolean()}
+	case KPrepareOK:
+		m = PrepareOK{Queued: r.u32()}
+	case KUnlink:
+		m = Unlink{Path: r.str()}
+	case KUnlinkOK:
+		m = UnlinkOK{}
+	case KList:
+		m = List{Prefix: r.str()}
+	case KListOK:
+		n := r.u32()
+		if r.err != nil || uint64(n) > uint64(len(r.b)) {
+			return nil, errTruncated
+		}
+		entries := make([]Entry, 0, n)
+		for i := uint32(0); i < n; i++ {
+			entries = append(entries, Entry{Path: r.str(), Size: r.i64(), Online: r.boolean()})
+		}
+		m = ListOK{Entries: entries}
+	case KTrunc:
+		m = Trunc{FH: r.u64(), Size: r.i64()}
+	case KTruncOK:
+		m = TruncOK{FH: r.u64()}
+	default:
+		return nil, fmt.Errorf("proto: unknown kind %d", frame[0])
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return m, nil
+}

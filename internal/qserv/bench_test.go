@@ -1,0 +1,49 @@
+package qserv
+
+import "testing"
+
+// The per-chunk scan rate of the stand-in query engine (the paper's
+// MySQL substitute): rows/second over a predicate scan.
+func BenchmarkExecuteCount(b *testing.B) {
+	c := GenChunk(0, 1, 100_000, 1)
+	q, err := Parse("COUNT WHERE mag < 20 AND decl > -45")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(c.Rows)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Execute(q, c)
+	}
+}
+
+func BenchmarkExecuteSelect(b *testing.B) {
+	c := GenChunk(0, 1, 100_000, 1)
+	q, _ := Parse("SELECT WHERE mag < 16 LIMIT 100")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Execute(q, c)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("COUNT WHERE mag < 20 AND ra >= 100 AND decl != 0"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartialCodec(b *testing.B) {
+	p := Partial{Count: 12345, Sum: 6789.25, Min: 1, Max: 99,
+		Rows: []Row{{ObjectID: 1, RA: 2, Decl: 3, Mag: 4}}}
+	enc := EncodePartial(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodePartial(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

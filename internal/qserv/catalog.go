@@ -1,0 +1,96 @@
+// Package qserv reproduces the paper's Section IV-B: Qserv, the LSST
+// prototype astronomical query system, using Scalla as its distributed
+// dispatch layer.
+//
+// Workers are ordinary Scalla data servers that "publish" one marker
+// file per data partition (chunk). A master locates the marker through
+// the Scalla namespace — which guarantees a channel to a worker hosting
+// that partition — writes the query into it, and reads the result back
+// as another file. There is deliberately no cluster-membership
+// configuration anywhere in the master: Scalla's data→host mapping is
+// the only directory, exactly as the paper describes.
+//
+// The per-worker query engine (the paper used MySQL) is replaced by a
+// small in-memory scan/aggregate engine over a synthetic catalog, which
+// preserves everything Qserv needs from it: execute a chunk query,
+// produce bytes.
+package qserv
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Row is one object observation in the synthetic catalog: a thin
+// LSST-like schema (position, magnitude).
+type Row struct {
+	ObjectID int64
+	RA       float64 // right ascension, degrees [0, 360)
+	Decl     float64 // declination, degrees [-90, 90)
+	Mag      float64 // apparent magnitude
+}
+
+// Chunk is one spatial partition of the catalog. Chunks stripe the sky
+// by right ascension: chunk i of n covers RA [i*360/n, (i+1)*360/n).
+type Chunk struct {
+	ID    int
+	NumRA int // total chunks in the striping
+	Rows  []Row
+}
+
+// RARange returns the right-ascension interval this chunk covers.
+func (c *Chunk) RARange() (lo, hi float64) {
+	w := 360.0 / float64(c.NumRA)
+	return float64(c.ID) * w, float64(c.ID+1) * w
+}
+
+// GenChunk deterministically generates a chunk with nRows synthetic
+// objects whose positions fall inside the chunk's RA stripe.
+func GenChunk(id, numChunks, nRows int, seed int64) *Chunk {
+	r := rand.New(rand.NewSource(seed + int64(id)*7919))
+	c := &Chunk{ID: id, NumRA: numChunks, Rows: make([]Row, nRows)}
+	lo, hi := c.RARange()
+	for i := range c.Rows {
+		c.Rows[i] = Row{
+			ObjectID: int64(id)*1_000_000 + int64(i),
+			RA:       lo + r.Float64()*(hi-lo),
+			Decl:     -90 + r.Float64()*180,
+			Mag:      15 + r.Float64()*10,
+		}
+	}
+	return c
+}
+
+// ChunksForRA returns the chunk IDs whose stripes intersect [raLo, raHi]
+// out of numChunks total stripes.
+func ChunksForRA(numChunks int, raLo, raHi float64) []int {
+	if raLo > raHi {
+		raLo, raHi = raHi, raLo
+	}
+	w := 360.0 / float64(numChunks)
+	first := int(raLo / w)
+	last := int(raHi / w)
+	if first < 0 {
+		first = 0
+	}
+	if last >= numChunks {
+		last = numChunks - 1
+	}
+	var out []int
+	for i := first; i <= last; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// MarkerPath is the Scalla path a worker publishes for a chunk. Opening
+// it for write is how a master reaches the worker hosting the chunk.
+func MarkerPath(chunk int) string {
+	return fmt.Sprintf("/qserv/chunk_%06d", chunk)
+}
+
+// ResultPath is where a worker deposits the result of query qid over a
+// chunk.
+func ResultPath(chunk int, qid uint64) string {
+	return fmt.Sprintf("/qserv/result/chunk_%06d/q%d", chunk, qid)
+}

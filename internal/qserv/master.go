@@ -1,0 +1,177 @@
+package qserv
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scalla/internal/client"
+	"scalla/internal/transport"
+	"scalla/internal/vclock"
+)
+
+// MasterConfig parameterizes a Master.
+type MasterConfig struct {
+	// Net supplies transport.
+	Net transport.Network
+	// Managers are the Scalla manager data addresses.
+	Managers []string
+	// PollInterval paces result polling. Default 20 ms.
+	PollInterval time.Duration
+	// ResultTimeout bounds how long one chunk's result is awaited.
+	// Default 30 s.
+	ResultTimeout time.Duration
+	// Clock supplies time. Default vclock.Real().
+	Clock vclock.Clock
+}
+
+func (c MasterConfig) withDefaults() MasterConfig {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 20 * time.Millisecond
+	}
+	if c.ResultTimeout <= 0 {
+		c.ResultTimeout = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	return c
+}
+
+// Master dispatches queries across the chunks of the catalog. It holds
+// no worker list and no cluster configuration: everything is discovered
+// through Scalla's namespace, as the paper emphasizes for Qserv.
+type Master struct {
+	cfg MasterConfig
+	cl  *client.Client
+	qid atomic.Uint64
+}
+
+// NewMaster returns a Master speaking to the given managers.
+func NewMaster(cfg MasterConfig) *Master {
+	cfg = cfg.withDefaults()
+	return &Master{
+		cfg: cfg,
+		cl: client.New(client.Config{
+			Net: cfg.Net, Managers: cfg.Managers,
+			Clock: cfg.Clock,
+		}),
+	}
+}
+
+// Close releases the master's connections.
+func (m *Master) Close() { m.cl.Close() }
+
+// Client exposes the underlying Scalla client (examples use it to poke
+// at the namespace directly).
+func (m *Master) Client() *client.Client { return m.cl }
+
+// Query runs queryText over the given chunks and merges the partial
+// results. Chunks execute in parallel; each chunk's work is dispatched
+// to whichever worker publishes that chunk's marker.
+func (m *Master) Query(queryText string, chunks []int) (Result, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return Result{}, err
+	}
+	qid := m.qid.Add(1)
+
+	type outcome struct {
+		partial Partial
+		err     error
+	}
+	outs := make([]outcome, len(chunks))
+	var wg sync.WaitGroup
+	for i, chunk := range chunks {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := m.queryChunk(queryText, chunk, qid)
+			outs[i] = outcome{p, err}
+		}()
+	}
+	wg.Wait()
+
+	parts := make([]Partial, 0, len(chunks))
+	for i, o := range outs {
+		if o.err != nil {
+			return Result{}, fmt.Errorf("qserv: chunk %d: %w", chunks[i], o.err)
+		}
+		parts = append(parts, o.partial)
+	}
+	return Merge(q, parts), nil
+}
+
+// QueryRegion runs queryText over the chunks covering [raLo, raHi],
+// given the catalog's total stripe count.
+func (m *Master) QueryRegion(queryText string, numChunks int, raLo, raHi float64) (Result, error) {
+	return m.Query(queryText, ChunksForRA(numChunks, raLo, raHi))
+}
+
+// QueryCone runs a cone search: the quick-retrieval pattern the paper
+// cites ("retrieve all facts for a single object"). Only the chunks
+// whose RA stripes intersect the cone are dispatched.
+func (m *Master) QueryCone(queryText string, numChunks int, cone Cone) (Result, error) {
+	q, err := Parse(queryText)
+	if err != nil {
+		return Result{}, err
+	}
+	q.Cones = append(q.Cones, cone)
+	// Re-render is unnecessary: send the original text plus the cone as
+	// an extra WITHIN clause.
+	sep := " WHERE "
+	if len(q.Preds) > 0 || len(q.Cones) > 1 || strings.Contains(strings.ToLower(queryText), "where") {
+		sep = " AND "
+	}
+	text := queryText + sep + fmt.Sprintf("WITHIN %g %g %g", cone.RA, cone.Decl, cone.Radius)
+	// LIMIT must stay at the end; reject the combination rather than
+	// reorder silently.
+	if q.Limit > 0 {
+		return Result{}, errors.New("qserv: use WITHIN inside the query text when combining with LIMIT")
+	}
+	return m.Query(text, ChunksForCone(numChunks, cone))
+}
+
+// queryChunk dispatches one chunk's work and awaits its result file.
+func (m *Master) queryChunk(queryText string, chunk int, qid uint64) (Partial, error) {
+	// Opening the marker for write guarantees a channel to a worker
+	// hosting the chunk (the paper's data→host mapping).
+	f, err := m.cl.OpenWrite(MarkerPath(chunk))
+	if err != nil {
+		return Partial{}, fmt.Errorf("no worker publishes chunk %d: %w", chunk, err)
+	}
+	task := EncodeTask(qid, queryText)
+	if _, err := f.WriteAt(task, 0); err != nil {
+		f.Close()
+		return Partial{}, err
+	}
+	f.Close()
+
+	// Await the result file. It is created after the manager may have
+	// cached its non-existence, so discovery goes through Relocate
+	// (cache refresh), the paper's recovery for timing edge effects.
+	resPath := ResultPath(chunk, qid)
+	deadline := m.cfg.Clock.Now().Add(m.cfg.ResultTimeout)
+	for {
+		if _, err := m.cl.Relocate(resPath, false, ""); err == nil {
+			break
+		} else if !errors.Is(err, client.ErrNotExist) && !errors.Is(err, client.ErrTimeout) {
+			return Partial{}, err
+		}
+		if m.cfg.Clock.Now().After(deadline) {
+			return Partial{}, fmt.Errorf("result for chunk %d never appeared", chunk)
+		}
+		m.cfg.Clock.Sleep(m.cfg.PollInterval)
+	}
+	data, err := m.cl.ReadFile(resPath)
+	if err != nil {
+		return Partial{}, err
+	}
+	if strings.HasPrefix(string(data), "error ") {
+		return Partial{}, errors.New(strings.TrimSpace(strings.TrimPrefix(string(data), "error ")))
+	}
+	return DecodePartial(data)
+}

@@ -1,0 +1,209 @@
+package qserv
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"scalla/internal/cache"
+	"scalla/internal/cmsd"
+	"scalla/internal/proto"
+	"scalla/internal/respq"
+	"scalla/internal/transport"
+)
+
+// buildQserv assembles a manager, nWorkers workers sharing numChunks
+// chunks round-robin, and a master.
+func buildQserv(t *testing.T, nWorkers, numChunks, rowsPerChunk int) (*Master, []*Worker, []*Chunk) {
+	t.Helper()
+	net := transport.NewInProc(transport.InProcConfig{})
+	mgr, err := cmsd.NewNode(cmsd.NodeConfig{
+		Name: "mgr", Role: proto.RoleManager,
+		DataAddr: "mgr:data", CtlAddr: "mgr:ctl", Net: net,
+		Core: cmsd.Config{
+			Cache:     cache.Config{InitialBuckets: 89},
+			Queue:     respq.Config{Period: 20 * time.Millisecond},
+			FullDelay: 150 * time.Millisecond,
+		},
+		PingInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Stop)
+
+	chunks := make([]*Chunk, numChunks)
+	for i := range chunks {
+		chunks[i] = GenChunk(i, numChunks, rowsPerChunk, 12345)
+	}
+	var workers []*Worker
+	for wi := 0; wi < nWorkers; wi++ {
+		var mine []*Chunk
+		for ci := wi; ci < numChunks; ci += nWorkers {
+			mine = append(mine, chunks[ci])
+		}
+		w, err := NewWorker(WorkerConfig{
+			Name: "worker" + string(rune('A'+wi)), Net: net,
+			Parents: []string{"mgr:ctl"}, Chunks: mine,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Stop)
+		workers = append(workers, w)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for mgr.Core().Table().Count() < nWorkers {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m := NewMaster(MasterConfig{
+		Net: net, Managers: []string{"mgr:data"},
+		PollInterval: 10 * time.Millisecond,
+	})
+	t.Cleanup(m.Close)
+	return m, workers, chunks
+}
+
+func allChunkIDs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func oracle(t *testing.T, queryText string, chunks []*Chunk) Result {
+	t.Helper()
+	q, err := Parse(queryText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []Partial
+	for _, c := range chunks {
+		parts = append(parts, Execute(q, c))
+	}
+	return Merge(q, parts)
+}
+
+func TestDistributedCountMatchesOracle(t *testing.T) {
+	m, _, chunks := buildQserv(t, 3, 6, 300)
+	const q = "COUNT WHERE mag < 20"
+	got, err := m.Query(q, allChunkIDs(len(chunks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle(t, q, chunks)
+	if got.Count != want.Count {
+		t.Fatalf("distributed count = %d, oracle = %d", got.Count, want.Count)
+	}
+	if got.Count == 0 {
+		t.Fatal("degenerate workload: zero matches")
+	}
+}
+
+func TestDistributedAvg(t *testing.T) {
+	m, _, chunks := buildQserv(t, 2, 4, 250)
+	const q = "AVG mag WHERE decl > 0"
+	got, err := m.Query(q, allChunkIDs(len(chunks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle(t, q, chunks)
+	if math.Abs(got.Value-want.Value) > 1e-9 || got.Count != want.Count {
+		t.Fatalf("AVG = %+v, oracle %+v", got, want)
+	}
+}
+
+func TestRegionQueryTouchesOnlyCoveringChunks(t *testing.T) {
+	m, workers, chunks := buildQserv(t, 2, 8, 100)
+	// RA [0, 90) covers chunks 0 and 1 of 8.
+	got, err := m.QueryRegion("COUNT", len(chunks), 0, 89.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oracle(t, "COUNT", chunks[:2])
+	if got.Count != want.Count {
+		t.Fatalf("region count = %d, want %d", got.Count, want.Count)
+	}
+	// Exactly one query executed per covered chunk, none elsewhere.
+	executed := 0
+	for _, w := range workers {
+		if w.Executed(1) {
+			executed++
+		}
+	}
+	if executed == 0 {
+		t.Error("no worker recorded the execution")
+	}
+}
+
+func TestSelectRowsComeBack(t *testing.T) {
+	m, _, chunks := buildQserv(t, 2, 4, 100)
+	got, err := m.Query("SELECT WHERE mag < 19 LIMIT 5", allChunkIDs(len(chunks)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) == 0 || len(got.Rows) > 5 {
+		t.Fatalf("rows = %d", len(got.Rows))
+	}
+	for _, r := range got.Rows {
+		if r.Mag >= 19 {
+			t.Errorf("row %+v violates predicate", r)
+		}
+	}
+}
+
+func TestQueryConeDispatch(t *testing.T) {
+	m, _, chunks := buildQserv(t, 2, 8, 300)
+	cone := Cone{RA: 100, Decl: 0, Radius: 3}
+	got, err := m.QueryCone("COUNT", len(chunks), cone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oracle: brute-force over every chunk.
+	q := Query{Agg: AggCount, Cones: []Cone{cone}}
+	var want int64
+	for _, c := range chunks {
+		want += Execute(q, c).Count
+	}
+	if got.Count != want {
+		t.Fatalf("cone count = %d, want %d", got.Count, want)
+	}
+	if want == 0 {
+		t.Fatal("degenerate cone: zero objects")
+	}
+}
+
+func TestQueryBadSyntaxFailsFast(t *testing.T) {
+	m, _, _ := buildQserv(t, 1, 1, 10)
+	if _, err := m.Query("DROP TABLE objects", []int{0}); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}
+
+func TestQueryUnknownChunkFails(t *testing.T) {
+	m, _, _ := buildQserv(t, 1, 2, 10)
+	_, err := m.Query("COUNT", []int{99})
+	if err == nil {
+		t.Fatal("query over unpublished chunk succeeded")
+	}
+}
+
+func TestSequentialQueriesReuseChannels(t *testing.T) {
+	m, _, chunks := buildQserv(t, 2, 4, 100)
+	for i := 0; i < 3; i++ {
+		got, err := m.Query("COUNT", allChunkIDs(len(chunks)))
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got.Count != int64(4*100) {
+			t.Fatalf("query %d count = %d", i, got.Count)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+package qserv
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The query language is a deliberately small subset of what Qserv pushes
+// to its workers — single-table scans with conjunctive predicates and a
+// final aggregate:
+//
+//	COUNT [WHERE <pred> [AND <pred>]...]
+//	SUM <col> [WHERE ...]
+//	AVG <col> [WHERE ...]
+//	MIN <col> / MAX <col> [WHERE ...]
+//	SELECT [WHERE ...] [LIMIT n]
+//
+// Columns: objectid, ra, decl, mag. Operators: < <= > >= = !=.
+// A predicate may also be a spatial cone search — the archetypal
+// astronomical retrieval ("all facts near this position"):
+//
+//	WITHIN <ra> <decl> <radius-degrees>
+
+// AggKind is the aggregate a query computes.
+type AggKind int
+
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+	AggSelect
+)
+
+// Pred is one comparison predicate.
+type Pred struct {
+	Col string
+	Op  string
+	Val float64
+}
+
+// Cone is a spherical cone-search predicate: objects within Radius
+// degrees of (RA, Decl).
+type Cone struct {
+	RA, Decl, Radius float64
+}
+
+// Query is a parsed query.
+type Query struct {
+	Agg   AggKind
+	Col   string // for SUM/AVG/MIN/MAX
+	Preds []Pred
+	Cones []Cone
+	Limit int // for SELECT; 0 = unlimited
+}
+
+var validCols = map[string]bool{"objectid": true, "ra": true, "decl": true, "mag": true}
+
+// Parse parses the query text.
+func Parse(text string) (Query, error) {
+	toks := strings.Fields(strings.ToLower(text))
+	if len(toks) == 0 {
+		return Query{}, fmt.Errorf("qserv: empty query")
+	}
+	var q Query
+	i := 0
+	switch toks[i] {
+	case "count":
+		q.Agg = AggCount
+		i++
+	case "sum", "avg", "min", "max":
+		switch toks[i] {
+		case "sum":
+			q.Agg = AggSum
+		case "avg":
+			q.Agg = AggAvg
+		case "min":
+			q.Agg = AggMin
+		case "max":
+			q.Agg = AggMax
+		}
+		i++
+		if i >= len(toks) || !validCols[toks[i]] {
+			return Query{}, fmt.Errorf("qserv: %s requires a column", toks[i-1])
+		}
+		q.Col = toks[i]
+		i++
+	case "select":
+		q.Agg = AggSelect
+		i++
+	default:
+		return Query{}, fmt.Errorf("qserv: unknown verb %q", toks[i])
+	}
+
+	if i < len(toks) && toks[i] == "where" {
+		i++
+		for {
+			if i < len(toks) && toks[i] == "within" {
+				if i+4 > len(toks) {
+					return Query{}, fmt.Errorf("qserv: WITHIN needs ra decl radius")
+				}
+				vals := make([]float64, 3)
+				for k := 0; k < 3; k++ {
+					v, err := strconv.ParseFloat(toks[i+1+k], 64)
+					if err != nil {
+						return Query{}, fmt.Errorf("qserv: bad WITHIN literal %q", toks[i+1+k])
+					}
+					vals[k] = v
+				}
+				if vals[2] <= 0 {
+					return Query{}, fmt.Errorf("qserv: WITHIN radius must be positive")
+				}
+				q.Cones = append(q.Cones, Cone{RA: vals[0], Decl: vals[1], Radius: vals[2]})
+				i += 4
+			} else {
+				if i+3 > len(toks) {
+					return Query{}, fmt.Errorf("qserv: truncated predicate")
+				}
+				col, op, valStr := toks[i], toks[i+1], toks[i+2]
+				if !validCols[col] {
+					return Query{}, fmt.Errorf("qserv: unknown column %q", col)
+				}
+				switch op {
+				case "<", "<=", ">", ">=", "=", "!=":
+				default:
+					return Query{}, fmt.Errorf("qserv: unknown operator %q", op)
+				}
+				val, err := strconv.ParseFloat(valStr, 64)
+				if err != nil {
+					return Query{}, fmt.Errorf("qserv: bad literal %q", valStr)
+				}
+				q.Preds = append(q.Preds, Pred{Col: col, Op: op, Val: val})
+				i += 3
+			}
+			if i < len(toks) && toks[i] == "and" {
+				i++
+				continue
+			}
+			break
+		}
+	}
+	if i < len(toks) && toks[i] == "limit" {
+		if q.Agg != AggSelect {
+			return Query{}, fmt.Errorf("qserv: LIMIT only applies to SELECT")
+		}
+		i++
+		if i >= len(toks) {
+			return Query{}, fmt.Errorf("qserv: LIMIT requires a count")
+		}
+		n, err := strconv.Atoi(toks[i])
+		if err != nil || n < 0 {
+			return Query{}, fmt.Errorf("qserv: bad LIMIT %q", toks[i])
+		}
+		q.Limit = n
+		i++
+	}
+	if i != len(toks) {
+		return Query{}, fmt.Errorf("qserv: trailing tokens %v", toks[i:])
+	}
+	return q, nil
+}
+
+func colValue(r Row, col string) float64 {
+	switch col {
+	case "objectid":
+		return float64(r.ObjectID)
+	case "ra":
+		return r.RA
+	case "decl":
+		return r.Decl
+	default: // mag
+		return r.Mag
+	}
+}
+
+func (p Pred) match(r Row) bool {
+	v := colValue(r, p.Col)
+	switch p.Op {
+	case "<":
+		return v < p.Val
+	case "<=":
+		return v <= p.Val
+	case ">":
+		return v > p.Val
+	case ">=":
+		return v >= p.Val
+	case "=":
+		return v == p.Val
+	default: // !=
+		return v != p.Val
+	}
+}
+
+// Contains reports whether the row's position lies inside the cone,
+// using the spherical law of cosines.
+func (c Cone) Contains(r Row) bool {
+	const deg = math.Pi / 180
+	d1, d2 := c.Decl*deg, r.Decl*deg
+	dRA := (r.RA - c.RA) * deg
+	cosSep := math.Sin(d1)*math.Sin(d2) + math.Cos(d1)*math.Cos(d2)*math.Cos(dRA)
+	if cosSep > 1 {
+		cosSep = 1
+	} else if cosSep < -1 {
+		cosSep = -1
+	}
+	return math.Acos(cosSep) <= c.Radius*deg
+}
+
+func (q Query) match(r Row) bool {
+	for _, p := range q.Preds {
+		if !p.match(r) {
+			return false
+		}
+	}
+	for _, c := range q.Cones {
+		if !c.Contains(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// ChunksForCone returns the chunk IDs whose RA stripes can contain
+// objects inside the cone. The RA window widens by 1/cos(decl) toward
+// the poles; near-pole cones conservatively cover all chunks.
+func ChunksForCone(numChunks int, c Cone) []int {
+	const deg = math.Pi / 180
+	cosD := math.Cos(c.Decl * deg)
+	if cosD <= math.Sin(c.Radius*deg) {
+		// The cone encircles a pole: every RA stripe may contribute.
+		out := make([]int, numChunks)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	half := c.Radius / cosD
+	lo, hi := c.RA-half, c.RA+half
+	w := 360.0 / float64(numChunks)
+	seen := map[int]bool{}
+	var out []int
+	add := func(idx int) {
+		idx = ((idx % numChunks) + numChunks) % numChunks
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	for x := math.Floor(lo / w); x <= math.Floor(hi/w); x++ {
+		add(int(x))
+	}
+	return out
+}
+
+// Partial is the per-chunk partial result a worker produces; partials
+// from many chunks merge into a final Result at the master.
+type Partial struct {
+	Count int64
+	Sum   float64
+	Min   float64
+	Max   float64
+	Rows  []Row // SELECT only
+}
+
+// Execute runs q over one chunk, producing its partial result.
+func Execute(q Query, c *Chunk) Partial {
+	p := Partial{}
+	first := true
+	for _, r := range c.Rows {
+		if !q.match(r) {
+			continue
+		}
+		p.Count++
+		switch q.Agg {
+		case AggSelect:
+			if q.Limit == 0 || len(p.Rows) < q.Limit {
+				p.Rows = append(p.Rows, r)
+			}
+		case AggSum, AggAvg, AggMin, AggMax:
+			v := colValue(r, q.Col)
+			p.Sum += v
+			if first || v < p.Min {
+				p.Min = v
+			}
+			if first || v > p.Max {
+				p.Max = v
+			}
+			first = false
+		}
+	}
+	return p
+}
+
+// Result is the merged answer to a distributed query.
+type Result struct {
+	Count int64
+	Value float64 // SUM/AVG/MIN/MAX value
+	Rows  []Row   // SELECT
+}
+
+// Merge folds per-chunk partials into the final result for q.
+func Merge(q Query, parts []Partial) Result {
+	var res Result
+	sum := 0.0
+	first := true
+	minV, maxV := 0.0, 0.0
+	for _, p := range parts {
+		res.Count += p.Count
+		sum += p.Sum
+		if p.Count > 0 {
+			if first || p.Min < minV {
+				minV = p.Min
+			}
+			if first || p.Max > maxV {
+				maxV = p.Max
+			}
+			first = false
+		}
+		if q.Agg == AggSelect {
+			for _, r := range p.Rows {
+				if q.Limit == 0 || len(res.Rows) < q.Limit {
+					res.Rows = append(res.Rows, r)
+				}
+			}
+		}
+	}
+	switch q.Agg {
+	case AggSum:
+		res.Value = sum
+	case AggAvg:
+		if res.Count > 0 {
+			res.Value = sum / float64(res.Count)
+		}
+	case AggMin:
+		res.Value = minV
+	case AggMax:
+		res.Value = maxV
+	}
+	return res
+}
+
+// ----------------------------------------------------- wire formats --
+
+// EncodePartial renders a partial as the result-file payload.
+func EncodePartial(p Partial) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "count %d sum %.10g min %.10g max %.10g rows %d\n",
+		p.Count, p.Sum, p.Min, p.Max, len(p.Rows))
+	for _, r := range p.Rows {
+		fmt.Fprintf(&b, "%d %.10g %.10g %.10g\n", r.ObjectID, r.RA, r.Decl, r.Mag)
+	}
+	return []byte(b.String())
+}
+
+// DecodePartial parses a result-file payload.
+func DecodePartial(data []byte) (Partial, error) {
+	var p Partial
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 {
+		return p, fmt.Errorf("qserv: empty partial")
+	}
+	var nRows int
+	if _, err := fmt.Sscanf(lines[0], "count %d sum %g min %g max %g rows %d",
+		&p.Count, &p.Sum, &p.Min, &p.Max, &nRows); err != nil {
+		return p, fmt.Errorf("qserv: bad partial header %q: %w", lines[0], err)
+	}
+	if nRows != len(lines)-1 {
+		return p, fmt.Errorf("qserv: partial claims %d rows, has %d", nRows, len(lines)-1)
+	}
+	for _, ln := range lines[1:] {
+		var r Row
+		if _, err := fmt.Sscanf(ln, "%d %g %g %g", &r.ObjectID, &r.RA, &r.Decl, &r.Mag); err != nil {
+			return p, fmt.Errorf("qserv: bad row %q: %w", ln, err)
+		}
+		p.Rows = append(p.Rows, r)
+	}
+	return p, nil
+}
+
+// EncodeTask frames a query submission written into a chunk's marker
+// file: a fixed header carrying the query id and payload length, so a
+// shorter resubmission is never confused with stale tail bytes from an
+// earlier, longer one.
+func EncodeTask(qid uint64, queryText string) []byte {
+	return []byte(fmt.Sprintf("QSERV1 %d %d\n%s", qid, len(queryText), queryText))
+}
+
+// DecodeTask parses a marker-file payload.
+func DecodeTask(data []byte) (qid uint64, queryText string, err error) {
+	s := string(data)
+	nl := strings.IndexByte(s, '\n')
+	if nl < 0 {
+		return 0, "", fmt.Errorf("qserv: task missing header")
+	}
+	var n int
+	if _, err := fmt.Sscanf(s[:nl], "QSERV1 %d %d", &qid, &n); err != nil {
+		return 0, "", fmt.Errorf("qserv: bad task header %q: %w", s[:nl], err)
+	}
+	body := s[nl+1:]
+	if len(body) < n {
+		return 0, "", fmt.Errorf("qserv: task body truncated: %d < %d", len(body), n)
+	}
+	return qid, body[:n], nil
+}

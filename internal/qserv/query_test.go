@@ -1,0 +1,355 @@
+package qserv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseForms(t *testing.T) {
+	cases := []struct {
+		in      string
+		agg     AggKind
+		col     string
+		nPreds  int
+		limit   int
+		wantErr bool
+	}{
+		{"COUNT", AggCount, "", 0, 0, false},
+		{"count where mag < 20", AggCount, "", 1, 0, false},
+		{"COUNT WHERE mag < 20 AND ra >= 100 AND decl != 0", AggCount, "", 3, 0, false},
+		{"SUM mag WHERE decl < 0", AggSum, "mag", 1, 0, false},
+		{"AVG mag", AggAvg, "mag", 0, 0, false},
+		{"MIN ra", AggMin, "ra", 0, 0, false},
+		{"MAX decl", AggMax, "decl", 0, 0, false},
+		{"SELECT WHERE objectid = 5 LIMIT 10", AggSelect, "", 1, 10, false},
+		{"SELECT", AggSelect, "", 0, 0, false},
+		{"", 0, "", 0, 0, true},
+		{"DROP TABLE", 0, "", 0, 0, true},
+		{"SUM", 0, "", 0, 0, true},
+		{"SUM nope", 0, "", 0, 0, true},
+		{"COUNT WHERE mag", 0, "", 0, 0, true},
+		{"COUNT WHERE mag <> 3", 0, "", 0, 0, true},
+		{"COUNT WHERE mag < abc", 0, "", 0, 0, true},
+		{"COUNT LIMIT 5", 0, "", 0, 0, true},
+		{"SELECT LIMIT", 0, "", 0, 0, true},
+		{"SELECT LIMIT -1", 0, "", 0, 0, true},
+		{"COUNT extra junk", 0, "", 0, 0, true},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q) succeeded, want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if q.Agg != c.agg || q.Col != c.col || len(q.Preds) != c.nPreds || q.Limit != c.limit {
+			t.Errorf("Parse(%q) = %+v", c.in, q)
+		}
+	}
+}
+
+func TestExecuteCount(t *testing.T) {
+	c := &Chunk{ID: 0, NumRA: 1, Rows: []Row{
+		{ObjectID: 1, Mag: 18}, {ObjectID: 2, Mag: 21}, {ObjectID: 3, Mag: 24},
+	}}
+	q, _ := Parse("COUNT WHERE mag < 22")
+	if p := Execute(q, c); p.Count != 2 {
+		t.Errorf("Count = %d", p.Count)
+	}
+	q, _ = Parse("COUNT")
+	if p := Execute(q, c); p.Count != 3 {
+		t.Errorf("Count = %d", p.Count)
+	}
+}
+
+func TestExecuteAggregates(t *testing.T) {
+	c := &Chunk{Rows: []Row{{Mag: 10}, {Mag: 20}, {Mag: 30}}}
+	q, _ := Parse("SUM mag")
+	if p := Execute(q, c); p.Sum != 60 {
+		t.Errorf("Sum = %v", p.Sum)
+	}
+	q, _ = Parse("MIN mag")
+	if p := Execute(q, c); p.Min != 10 {
+		t.Errorf("Min = %v", p.Min)
+	}
+	q, _ = Parse("MAX mag")
+	if p := Execute(q, c); p.Max != 30 {
+		t.Errorf("Max = %v", p.Max)
+	}
+}
+
+func TestExecuteSelectLimit(t *testing.T) {
+	c := GenChunk(0, 1, 100, 42)
+	q, _ := Parse("SELECT LIMIT 7")
+	p := Execute(q, c)
+	if len(p.Rows) != 7 {
+		t.Errorf("Rows = %d", len(p.Rows))
+	}
+	if p.Count != 100 {
+		t.Errorf("Count = %d (counts all matches, rows capped)", p.Count)
+	}
+}
+
+func TestMergeAvgAcrossChunks(t *testing.T) {
+	q, _ := Parse("AVG mag")
+	parts := []Partial{
+		{Count: 2, Sum: 40, Min: 15, Max: 25},
+		{Count: 3, Sum: 30, Min: 5, Max: 20},
+		{Count: 0},
+	}
+	r := Merge(q, parts)
+	if r.Count != 5 || math.Abs(r.Value-14) > 1e-9 {
+		t.Errorf("Merge AVG = %+v", r)
+	}
+	qmin, _ := Parse("MIN mag")
+	if r := Merge(qmin, parts); r.Value != 5 {
+		t.Errorf("Merge MIN = %+v", r)
+	}
+	qmax, _ := Parse("MAX mag")
+	if r := Merge(qmax, parts); r.Value != 25 {
+		t.Errorf("Merge MAX = %+v", r)
+	}
+}
+
+func TestMergeSelectRespectsLimit(t *testing.T) {
+	q, _ := Parse("SELECT LIMIT 3")
+	parts := []Partial{
+		{Count: 2, Rows: []Row{{ObjectID: 1}, {ObjectID: 2}}},
+		{Count: 2, Rows: []Row{{ObjectID: 3}, {ObjectID: 4}}},
+	}
+	r := Merge(q, parts)
+	if len(r.Rows) != 3 {
+		t.Errorf("merged rows = %d", len(r.Rows))
+	}
+}
+
+func TestPartialCodecRoundTrip(t *testing.T) {
+	p := Partial{Count: 3, Sum: 1.5, Min: -2.25, Max: 99,
+		Rows: []Row{{ObjectID: 7, RA: 1.5, Decl: -3.25, Mag: 21.125}}}
+	got, err := DecodePartial(EncodePartial(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != p.Count || got.Sum != p.Sum || got.Min != p.Min || got.Max != p.Max {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Rows) != 1 || got.Rows[0] != p.Rows[0] {
+		t.Errorf("rows mismatch: %+v", got.Rows)
+	}
+}
+
+func TestPartialCodecRejectsGarbage(t *testing.T) {
+	if _, err := DecodePartial([]byte("what")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := DecodePartial([]byte("count 1 sum 0 min 0 max 0 rows 2\n1 2 3 4\n")); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+}
+
+func TestTaskCodec(t *testing.T) {
+	data := EncodeTask(42, "COUNT WHERE mag < 20")
+	qid, text, err := DecodeTask(data)
+	if err != nil || qid != 42 || text != "COUNT WHERE mag < 20" {
+		t.Fatalf("DecodeTask = %d, %q, %v", qid, text, err)
+	}
+	// Stale tail from a longer earlier submission is ignored.
+	longer := EncodeTask(1, "SELECT WHERE objectid = 123456789 LIMIT 100")
+	shorter := EncodeTask(2, "COUNT")
+	mixed := append(append([]byte{}, shorter...), longer[len(shorter):]...)
+	qid, text, err = DecodeTask(mixed)
+	if err != nil || qid != 2 || text != "COUNT" {
+		t.Fatalf("stale-tail DecodeTask = %d, %q, %v", qid, text, err)
+	}
+	if _, _, err := DecodeTask([]byte("junk")); err == nil {
+		t.Error("garbage task accepted")
+	}
+	if _, _, err := DecodeTask([]byte("QSERV1 1 100\nshort")); err == nil {
+		t.Error("truncated body accepted")
+	}
+}
+
+func TestGenChunkDeterministicAndInStripe(t *testing.T) {
+	a := GenChunk(3, 8, 500, 1)
+	b := GenChunk(3, 8, 500, 1)
+	if len(a.Rows) != 500 {
+		t.Fatalf("rows = %d", len(a.Rows))
+	}
+	lo, hi := a.RARange()
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Fatal("generation not deterministic")
+		}
+		if a.Rows[i].RA < lo || a.Rows[i].RA >= hi {
+			t.Fatalf("row RA %v outside stripe [%v,%v)", a.Rows[i].RA, lo, hi)
+		}
+	}
+}
+
+func TestChunksForRA(t *testing.T) {
+	if got := ChunksForRA(8, 0, 360); len(got) != 8 {
+		t.Errorf("full sky = %v", got)
+	}
+	if got := ChunksForRA(8, 50, 100); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("partial = %v", got)
+	}
+	if got := ChunksForRA(8, 100, 50); len(got) != 2 {
+		t.Errorf("swapped bounds = %v", got)
+	}
+}
+
+func TestParseWithin(t *testing.T) {
+	q, err := Parse("COUNT WHERE WITHIN 180 -30 2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Cones) != 1 || q.Cones[0] != (Cone{RA: 180, Decl: -30, Radius: 2.5}) {
+		t.Fatalf("cones = %+v", q.Cones)
+	}
+	q, err = Parse("SELECT WHERE mag < 20 AND WITHIN 10 0 1 LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 || len(q.Cones) != 1 || q.Limit != 5 {
+		t.Fatalf("query = %+v", q)
+	}
+	for _, bad := range []string{
+		"COUNT WHERE WITHIN 1 2",      // missing radius
+		"COUNT WHERE WITHIN a b c",    // non-numeric
+		"COUNT WHERE WITHIN 1 2 -0.5", // negative radius
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestConeContains(t *testing.T) {
+	c := Cone{RA: 100, Decl: 20, Radius: 1}
+	if !c.Contains(Row{RA: 100, Decl: 20}) {
+		t.Error("cone must contain its center")
+	}
+	if !c.Contains(Row{RA: 100.5, Decl: 20}) {
+		t.Error("0.47° separation inside 1° cone")
+	}
+	if c.Contains(Row{RA: 100, Decl: 22}) {
+		t.Error("2° separation outside 1° cone")
+	}
+	// RA compression toward the pole: at decl 80, 3° of RA is only
+	// ~0.52° of true separation.
+	p := Cone{RA: 0, Decl: 80, Radius: 1}
+	if !p.Contains(Row{RA: 3, Decl: 80}) {
+		t.Error("RA compression near the pole not honored")
+	}
+}
+
+func TestChunksForCone(t *testing.T) {
+	// A 1° cone at the equator at RA 100 with 8 chunks (45° stripes)
+	// touches only chunk 2.
+	got := ChunksForCone(8, Cone{RA: 100, Decl: 0, Radius: 1})
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("chunks = %v, want [2]", got)
+	}
+	// A cone straddling a stripe boundary touches both.
+	got = ChunksForCone(8, Cone{RA: 45, Decl: 0, Radius: 1})
+	if len(got) != 2 {
+		t.Errorf("boundary cone chunks = %v", got)
+	}
+	// A cone around RA 0 wraps to the last chunk.
+	got = ChunksForCone(8, Cone{RA: 0.2, Decl: 0, Radius: 1})
+	found7 := false
+	for _, id := range got {
+		if id == 7 {
+			found7 = true
+		}
+	}
+	if !found7 {
+		t.Errorf("wrap-around cone chunks = %v, want chunk 7 included", got)
+	}
+	// A polar cone covers every stripe.
+	got = ChunksForCone(8, Cone{RA: 0, Decl: 89.5, Radius: 1})
+	if len(got) != 8 {
+		t.Errorf("polar cone chunks = %v", got)
+	}
+}
+
+// Property: a cone search via chunk pruning equals a brute-force scan
+// of all chunks.
+func TestPropConePruningExact(t *testing.T) {
+	const nChunks = 8
+	chunks := make([]*Chunk, nChunks)
+	for i := range chunks {
+		chunks[i] = GenChunk(i, nChunks, 400, 5)
+	}
+	cones := []Cone{
+		{RA: 100, Decl: 0, Radius: 3},
+		{RA: 0.5, Decl: -45, Radius: 5},
+		{RA: 359, Decl: 88, Radius: 4},
+	}
+	for _, cone := range cones {
+		q := Query{Agg: AggCount, Cones: []Cone{cone}}
+		var all, pruned int64
+		for _, c := range chunks {
+			all += Execute(q, c).Count
+		}
+		for _, id := range ChunksForCone(nChunks, cone) {
+			pruned += Execute(q, chunks[id]).Count
+		}
+		if all != pruned {
+			t.Errorf("cone %+v: pruned count %d != full count %d", cone, pruned, all)
+		}
+	}
+}
+
+// Property: Execute + Merge over partitioned data equals Execute over
+// the concatenation (distributed execution is exact).
+func TestPropDistributedEqualsLocal(t *testing.T) {
+	queries := []string{
+		"COUNT",
+		"COUNT WHERE mag < 20",
+		"SUM mag WHERE decl > 0",
+		"AVG ra",
+		"MIN mag WHERE ra < 180",
+		"MAX decl",
+	}
+	f := func(seed int64) bool {
+		const nChunks = 4
+		chunks := make([]*Chunk, nChunks)
+		var all Chunk
+		all.NumRA = 1
+		for i := range chunks {
+			chunks[i] = GenChunk(i, nChunks, 200, seed)
+			all.Rows = append(all.Rows, chunks[i].Rows...)
+		}
+		for _, qs := range queries {
+			q, err := Parse(qs)
+			if err != nil {
+				return false
+			}
+			var parts []Partial
+			for _, c := range chunks {
+				parts = append(parts, Execute(q, c))
+			}
+			dist := Merge(q, parts)
+			local := Merge(q, []Partial{Execute(q, &all)})
+			if dist.Count != local.Count {
+				t.Logf("%s: count %d != %d", qs, dist.Count, local.Count)
+				return false
+			}
+			if math.Abs(dist.Value-local.Value) > 1e-6 {
+				t.Logf("%s: value %v != %v", qs, dist.Value, local.Value)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package qserv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"scalla/internal/cmsd"
+	"scalla/internal/proto"
+	"scalla/internal/store"
+	"scalla/internal/transport"
+)
+
+// WorkerConfig assembles a Qserv worker: a Scalla data server hosting a
+// set of catalog chunks.
+type WorkerConfig struct {
+	// Name is the worker's Scalla node identity.
+	Name string
+	// Net supplies transport.
+	Net transport.Network
+	// Parents are the manager control addresses the worker logs into.
+	Parents []string
+	// Chunks are the catalog partitions this worker hosts.
+	Chunks []*Chunk
+	// StageDelay passes through to the backing store (unused by Qserv
+	// proper, but the store requires a value).
+	StageDelay time.Duration
+}
+
+// Worker is a Qserv worker node. It publishes one marker file per
+// hosted chunk; query submissions arrive as writes to those markers and
+// results are deposited as files the master reads back.
+type Worker struct {
+	cfg    WorkerConfig
+	node   *cmsd.Node
+	store  *store.Store
+	mu     sync.Mutex
+	chunks map[int]*Chunk
+
+	executed sync.Map // qid → chunk, for observability in tests
+}
+
+// NewWorker builds and starts the worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	w := &Worker{cfg: cfg, chunks: make(map[int]*Chunk)}
+	st := store.New(store.Config{
+		StageDelay: cfg.StageDelay,
+		OnWrite:    w.onWrite,
+	})
+	w.store = st
+	for _, c := range cfg.Chunks {
+		w.chunks[c.ID] = c
+		// Publish the chunk: the marker's existence in the Scalla
+		// namespace is the only membership/config mechanism.
+		st.Put(MarkerPath(c.ID), []byte(fmt.Sprintf("chunk %d rows %d\n", c.ID, len(c.Rows))))
+	}
+	node, err := cmsd.NewNode(cmsd.NodeConfig{
+		Name: cfg.Name, Role: proto.RoleServer,
+		DataAddr: cfg.Name + ":data",
+		Parents:  cfg.Parents,
+		Prefixes: []string{"/qserv"},
+		Net:      cfg.Net, Store: st,
+		ReconnectDelay: 50 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.node = node
+	return w, node.Start()
+}
+
+// Stop shuts the worker down.
+func (w *Worker) Stop() { w.node.Stop() }
+
+// Node returns the underlying Scalla node.
+func (w *Worker) Node() *cmsd.Node { return w.node }
+
+// Store returns the worker's backing store.
+func (w *Worker) Store() *store.Store { return w.store }
+
+// ChunkIDs returns the chunks this worker hosts.
+func (w *Worker) ChunkIDs() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]int, 0, len(w.chunks))
+	for id := range w.chunks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Executed reports whether the worker ran query qid (test helper).
+func (w *Worker) Executed(qid uint64) bool {
+	_, ok := w.executed.Load(qid)
+	return ok
+}
+
+// onWrite fires after any client write. A write to a chunk marker is a
+// query submission: decode, execute over the chunk, deposit the result
+// file.
+func (w *Worker) onWrite(path string) {
+	if !strings.HasPrefix(path, "/qserv/chunk_") || strings.Contains(path, "/result/") {
+		return
+	}
+	var chunkID int
+	if _, err := fmt.Sscanf(path, "/qserv/chunk_%d", &chunkID); err != nil {
+		return
+	}
+	w.mu.Lock()
+	chunk, ok := w.chunks[chunkID]
+	w.mu.Unlock()
+	if !ok {
+		return
+	}
+	data, _, err := w.store.ReadAt(path, 0, 1<<20)
+	if err != nil {
+		return
+	}
+	qid, text, err := DecodeTask(data)
+	if err != nil {
+		return // not (yet) a complete submission
+	}
+	q, err := Parse(text)
+	if err != nil {
+		// Deposit the error so the master does not hang polling.
+		w.store.Put(ResultPath(chunkID, qid), []byte("error "+err.Error()+"\n"))
+		return
+	}
+	partial := Execute(q, chunk)
+	w.store.Put(ResultPath(chunkID, qid), EncodePartial(partial))
+	w.executed.Store(qid, chunkID)
+}

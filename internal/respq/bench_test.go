@@ -1,0 +1,39 @@
+package respq
+
+import (
+	"testing"
+	"time"
+
+	"scalla/internal/vclock"
+)
+
+// The enqueue→release round trip, the overhead the fast response queue
+// adds on top of a server's ~100µs answer.
+func BenchmarkEnqueueRelease(b *testing.B) {
+	q := New(Config{Slots: 1024, Clock: vclock.NewFake()})
+	stop := make(chan struct{})
+	defer close(stop)
+	go q.Run(stop)
+	done := make(chan struct{}, 1)
+	w := func(Result) { done <- struct{}{} }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tok, err := q.NewEntry(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		q.Release(tok, 7, false)
+		<-done
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	q := New(Config{Slots: 4, Clock: vclock.NewFake(), Period: time.Hour})
+	tok, _ := q.NewEntry(func(Result) {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Join(tok, func(Result) {})
+	}
+}

@@ -1,0 +1,259 @@
+package respq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scalla/internal/vclock"
+)
+
+// collector gathers results delivered to waiters.
+type collector struct {
+	mu      sync.Mutex
+	results []Result
+}
+
+func (c *collector) waiter() Waiter {
+	return func(r Result) {
+		c.mu.Lock()
+		c.results = append(c.results, r)
+		c.mu.Unlock()
+	}
+}
+
+func (c *collector) get() []Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Result, len(c.results))
+	copy(out, c.results)
+	return out
+}
+
+func (c *collector) waitN(t *testing.T, n int) []Result {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if rs := c.get(); len(rs) >= n {
+			return rs
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d results, have %d", n, len(c.get()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestReleaseDeliversToAllWaiters(t *testing.T) {
+	q := New(Config{Slots: 8, Clock: vclock.NewFake()})
+	stop := make(chan struct{})
+	defer close(stop)
+	go q.Run(stop)
+
+	var col collector
+	tok, err := q.NewEntry(col.waiter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok == 0 {
+		t.Fatal("token must be nonzero")
+	}
+	for i := 0; i < 3; i++ {
+		if !q.Join(tok, col.waiter()) {
+			t.Fatal("Join failed on live entry")
+		}
+	}
+	q.Release(tok, 7, false)
+	rs := col.waitN(t, 4)
+	for _, r := range rs {
+		if r.Expired || r.Server != 7 || r.Pending {
+			t.Errorf("bad result %+v", r)
+		}
+	}
+	st := q.Stats()
+	if st.Entries != 1 || st.Joins != 3 || st.Released != 1 || st.InUse != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReleasePendingFlagPropagates(t *testing.T) {
+	q := New(Config{Slots: 4, Clock: vclock.NewFake()})
+	stop := make(chan struct{})
+	defer close(stop)
+	go q.Run(stop)
+	var col collector
+	tok, _ := q.NewEntry(col.waiter())
+	q.Release(tok, 3, true)
+	rs := col.waitN(t, 1)
+	if !rs[0].Pending || rs[0].Server != 3 {
+		t.Errorf("result = %+v", rs[0])
+	}
+}
+
+func TestStaleTokenRejected(t *testing.T) {
+	q := New(Config{Slots: 4, Clock: vclock.NewFake()})
+	stop := make(chan struct{})
+	defer close(stop)
+	go q.Run(stop)
+	var col collector
+	tok, _ := q.NewEntry(col.waiter())
+	q.Release(tok, 1, false)
+	col.waitN(t, 1)
+
+	// The slot is free; its old token must now fail everywhere.
+	if q.Join(tok, col.waiter()) {
+		t.Error("Join accepted a stale token")
+	}
+	q.Release(tok, 2, false) // must be ignored
+	time.Sleep(10 * time.Millisecond)
+	if len(col.get()) != 1 {
+		t.Error("stale Release delivered results")
+	}
+}
+
+func TestGarbageTokensIgnored(t *testing.T) {
+	q := New(Config{Slots: 4, Clock: vclock.NewFake()})
+	if q.Join(0, func(Result) {}) {
+		t.Error("Join(0) must fail")
+	}
+	q.Release(0, 0, false)
+	q.Release(token(9999, 1), 0, false) // out-of-range slot
+	if q.Join(token(9999, 1), func(Result) {}) {
+		t.Error("out-of-range token accepted")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	q := New(Config{Slots: 2, Clock: vclock.NewFake()})
+	if _, err := q.NewEntry(func(Result) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.NewEntry(func(Result) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.NewEntry(func(Result) {}); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+	if q.Stats().Full != 1 {
+		t.Error("Full not counted")
+	}
+}
+
+func TestEntriesExpireAfterPeriod(t *testing.T) {
+	fc := vclock.NewFake()
+	q := New(Config{Slots: 4, Period: 133 * time.Millisecond, Clock: fc})
+	stop := make(chan struct{})
+	defer close(stop)
+	go q.Run(stop)
+	fc.BlockUntil(1) // response thread armed its ticker
+
+	var col collector
+	tok, _ := q.NewEntry(col.waiter())
+	q.Join(tok, col.waiter())
+
+	fc.Advance(133 * time.Millisecond)
+	rs := col.waitN(t, 2)
+	for _, r := range rs {
+		if !r.Expired {
+			t.Errorf("result = %+v, want Expired", r)
+		}
+	}
+	if st := q.Stats(); st.Expired != 1 || st.InUse != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The expired entry's token is dead.
+	if q.Join(tok, col.waiter()) {
+		t.Error("token survived expiry")
+	}
+}
+
+func TestYoungEntriesSurviveTick(t *testing.T) {
+	fc := vclock.NewFake()
+	q := New(Config{Slots: 4, Period: 133 * time.Millisecond, Clock: fc})
+	stop := make(chan struct{})
+	defer close(stop)
+	go q.Run(stop)
+	fc.BlockUntil(1)
+
+	var col collector
+	// First tick at t=133ms; entry added at t=100ms is only 33ms old
+	// then and must survive until the second tick.
+	fc.Advance(100 * time.Millisecond)
+	tok, _ := q.NewEntry(col.waiter())
+	fc.Advance(33 * time.Millisecond) // tick 1: age 33ms < 133ms
+	time.Sleep(5 * time.Millisecond)  // let the thread process
+	if len(col.get()) != 0 {
+		t.Fatal("young entry expired early")
+	}
+	if !q.Join(tok, col.waiter()) {
+		t.Fatal("young entry's token invalid")
+	}
+	fc.Advance(133 * time.Millisecond) // tick 2: age 166ms
+	rs := col.waitN(t, 2)
+	for _, r := range rs {
+		if !r.Expired {
+			t.Errorf("result = %+v", r)
+		}
+	}
+}
+
+func TestSlotReuseBumpsTag(t *testing.T) {
+	q := New(Config{Slots: 1, Clock: vclock.NewFake()})
+	stop := make(chan struct{})
+	defer close(stop)
+	go q.Run(stop)
+	var col collector
+	tok1, _ := q.NewEntry(col.waiter())
+	q.Release(tok1, 0, false)
+	col.waitN(t, 1)
+	tok2, _ := q.NewEntry(col.waiter())
+	if tok1 == tok2 {
+		t.Error("reused slot issued the same token")
+	}
+	s1, _ := untoken(tok1)
+	s2, _ := untoken(tok2)
+	if s1 != s2 {
+		t.Error("single-slot queue must reuse the slot")
+	}
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	q := New(Config{Slots: 64, Clock: vclock.Real(), Period: 5 * time.Millisecond})
+	stop := make(chan struct{})
+	go q.Run(stop)
+	defer close(stop)
+
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tok, err := q.NewEntry(func(Result) { delivered.Add(1) })
+				if err != nil {
+					continue // full under churn is fine
+				}
+				q.Join(tok, func(Result) { delivered.Add(1) })
+				if i%2 == 0 {
+					q.Release(tok, i%64, false)
+				} // odd entries expire via the period ticker
+			}
+		}()
+	}
+	wg.Wait()
+	// Every parked waiter must eventually get exactly one result.
+	st := q.Stats()
+	want := st.Entries + st.Joins
+	deadline := time.Now().Add(5 * time.Second)
+	for delivered.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d", delivered.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if delivered.Load() != want {
+		t.Errorf("delivered %d, want %d", delivered.Load(), want)
+	}
+}

@@ -1,0 +1,177 @@
+// Package sim is an analytical + Monte-Carlo model of Scalla
+// resolution at cluster sizes no test rig can instantiate (the paper
+// claims O(log64 N) location time "in any sized cluster", Section
+// II-B1, and footnote 2 calls the choice of set size crucial).
+//
+// The model captures the protocol's structure exactly:
+//
+//   - a cached (warm) resolution crosses one redirector per level:
+//     latency = Σ per-level (request hop + cache look-up + reply hop);
+//     messages = 2 per level;
+//   - an uncached (cold) resolution floods the whole subtree below the
+//     first level that has no cached knowledge: every node receives one
+//     query, holders answer, and the answers compress upward (one Have
+//     per supervisor); latency = depth × hop + leaf look-up + response
+//     path, because the flood proceeds in parallel;
+//   - the tree has ceil(log_fanout N) levels and (N·f/(f−1))-ish nodes.
+//
+// Hop latencies can be jittered to produce percentiles.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Params parameterizes a simulated cluster and its workload.
+type Params struct {
+	// Servers is the number of leaf data servers.
+	Servers int64
+	// Fanout is the cluster set size (the paper's 64).
+	Fanout int
+	// Hop is the one-way network latency between adjacent levels.
+	Hop time.Duration
+	// CacheLookup is the per-redirector location-cache cost.
+	CacheLookup time.Duration
+	// LeafLookup is a data server's local check for a queried file.
+	LeafLookup time.Duration
+	// Replicas is how many servers hold a requested file.
+	Replicas int
+	// Jitter is the relative standard deviation applied to each latency
+	// component in Monte-Carlo mode (e.g. 0.2 = 20%).
+	Jitter float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Fanout <= 0 {
+		p.Fanout = 64
+	}
+	if p.Hop <= 0 {
+		p.Hop = 50 * time.Microsecond
+	}
+	if p.CacheLookup <= 0 {
+		p.CacheLookup = 5 * time.Microsecond
+	}
+	if p.LeafLookup <= 0 {
+		p.LeafLookup = 20 * time.Microsecond
+	}
+	if p.Replicas <= 0 {
+		p.Replicas = 1
+	}
+	return p
+}
+
+// Depth returns the number of redirector levels above the servers.
+func (p Params) Depth() int {
+	p = p.withDefaults()
+	if p.Servers <= 1 {
+		return 1
+	}
+	d := int(math.Ceil(math.Log(float64(p.Servers)) / math.Log(float64(p.Fanout))))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Redirectors returns the number of manager+supervisor nodes the tree
+// needs (the non-leaf nodes of a Fanout-ary tree over Servers leaves).
+func (p Params) Redirectors() int64 {
+	p = p.withDefaults()
+	var total int64
+	width := p.Servers
+	for width > 1 {
+		width = (width + int64(p.Fanout) - 1) / int64(p.Fanout)
+		total += width
+	}
+	if total == 0 {
+		total = 1
+	}
+	return total
+}
+
+// Result summarizes one configuration.
+type Result struct {
+	Depth        int
+	Redirectors  int64
+	WarmLatency  time.Duration // cached resolution, deterministic
+	ColdLatency  time.Duration // first-access resolution, deterministic
+	WarmMessages int64         // request+reply per level
+	ColdMessages int64         // full-subtree flood + compressed responses
+}
+
+// Evaluate computes the deterministic model.
+func Evaluate(p Params) Result {
+	p = p.withDefaults()
+	d := p.Depth()
+	warm := time.Duration(d) * (2*p.Hop + p.CacheLookup)
+
+	// Cold: the request reaches the manager (hop), each level forwards
+	// the flood (hop per level, in parallel across branches), leaves
+	// check locally, a holder's response climbs back up (hop per
+	// level, compressed at each supervisor), and the redirect returns
+	// to the client. Every level's cache does one look-up on the way
+	// down and one update on the way up.
+	down := time.Duration(d)*p.Hop + time.Duration(d)*p.CacheLookup
+	up := time.Duration(d)*p.Hop + time.Duration(d)*p.CacheLookup
+	cold := p.Hop + down + p.LeafLookup + up + p.Hop
+
+	// Messages: one query per tree edge below the manager (every node
+	// is asked once) plus one compressed positive response per level on
+	// each holder's path up.
+	queries := p.Servers + p.Redirectors() - 1 // every node except the manager receives one query
+	responses := int64(p.Replicas) * int64(d)
+	return Result{
+		Depth:        d,
+		Redirectors:  p.Redirectors(),
+		WarmLatency:  warm,
+		ColdLatency:  cold,
+		WarmMessages: int64(2 * d),
+		ColdMessages: queries + responses,
+	}
+}
+
+// Percentiles runs trials Monte-Carlo warm resolutions with jittered
+// component latencies and returns the requested percentiles.
+func Percentiles(p Params, trials int, seed int64, qs ...float64) []time.Duration {
+	p = p.withDefaults()
+	if trials <= 0 {
+		trials = 10000
+	}
+	r := rand.New(rand.NewSource(seed))
+	d := p.Depth()
+	samples := make([]time.Duration, trials)
+	jit := func(base time.Duration) time.Duration {
+		if p.Jitter <= 0 {
+			return base
+		}
+		f := 1 + r.NormFloat64()*p.Jitter
+		if f < 0.1 {
+			f = 0.1
+		}
+		return time.Duration(float64(base) * f)
+	}
+	for t := 0; t < trials; t++ {
+		var total time.Duration
+		for lvl := 0; lvl < d; lvl++ {
+			total += jit(p.Hop) + jit(p.CacheLookup) + jit(p.Hop)
+		}
+		samples[t] = total
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	out := make([]time.Duration, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(trials-1))
+		out[i] = samples[idx]
+	}
+	return out
+}
+
+// String renders a result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("depth=%d redirectors=%d warm=%v cold=%v warmMsgs=%d coldMsgs=%d",
+		r.Depth, r.Redirectors, r.WarmLatency, r.ColdLatency, r.WarmMessages, r.ColdMessages)
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDepth(t *testing.T) {
+	cases := []struct {
+		servers int64
+		fanout  int
+		want    int
+	}{
+		{1, 64, 1},
+		{64, 64, 1},
+		{65, 64, 2},
+		{4096, 64, 2},
+		{4097, 64, 3},
+		{262144, 64, 3},
+		{16777216, 64, 4},
+		{1024, 2, 10},
+	}
+	for _, c := range cases {
+		p := Params{Servers: c.servers, Fanout: c.fanout}
+		if got := p.Depth(); got != c.want {
+			t.Errorf("Depth(%d servers, fanout %d) = %d, want %d", c.servers, c.fanout, got, c.want)
+		}
+	}
+}
+
+func TestRedirectors(t *testing.T) {
+	// 4096 servers at fanout 64: 64 supervisors + 1 manager.
+	p := Params{Servers: 4096, Fanout: 64}
+	if got := p.Redirectors(); got != 65 {
+		t.Errorf("Redirectors = %d, want 65", got)
+	}
+	// 64 servers: just the manager.
+	p = Params{Servers: 64, Fanout: 64}
+	if got := p.Redirectors(); got != 1 {
+		t.Errorf("Redirectors = %d, want 1", got)
+	}
+}
+
+func TestEvaluateWarmScalesLogarithmically(t *testing.T) {
+	base := Params{Fanout: 64, Hop: 50 * time.Microsecond}
+	var prev Result
+	for i, servers := range []int64{64, 4096, 262144, 16777216} {
+		p := base
+		p.Servers = servers
+		r := Evaluate(p)
+		if r.Depth != i+1 {
+			t.Fatalf("servers=%d depth=%d, want %d", servers, r.Depth, i+1)
+		}
+		if i > 0 {
+			// Each 64x growth adds exactly one level's cost.
+			delta := r.WarmLatency - prev.WarmLatency
+			if delta != Evaluate(Params{Servers: 64, Fanout: 64, Hop: 50 * time.Microsecond}).WarmLatency {
+				t.Errorf("level increment = %v, want one level's worth", delta)
+			}
+		}
+		prev = r
+	}
+}
+
+func TestEvaluateColdMessagesCountWholeTree(t *testing.T) {
+	p := Params{Servers: 4096, Fanout: 64, Replicas: 2}
+	r := Evaluate(p)
+	// 4096 leaves + 64 supervisors queried, + 2 replicas x 2 levels up.
+	if r.ColdMessages != 4096+64+4 {
+		t.Errorf("ColdMessages = %d", r.ColdMessages)
+	}
+	if r.WarmMessages != 4 {
+		t.Errorf("WarmMessages = %d", r.WarmMessages)
+	}
+}
+
+// Property: warm latency is monotone in depth and independent of server
+// count within a depth band.
+func TestPropWarmDependsOnlyOnDepth(t *testing.T) {
+	f := func(rawA, rawB uint32) bool {
+		a := Params{Servers: int64(rawA%4000) + 65, Fanout: 64} // depth 2 band
+		b := Params{Servers: int64(rawB%4000) + 65, Fanout: 64}
+		return Evaluate(a).WarmLatency == Evaluate(b).WarmLatency
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentilesMonotone(t *testing.T) {
+	p := Params{Servers: 262144, Fanout: 64, Jitter: 0.25}
+	qs := Percentiles(p, 5000, 1, 0.5, 0.9, 0.99)
+	if !(qs[0] <= qs[1] && qs[1] <= qs[2]) {
+		t.Errorf("percentiles not monotone: %v", qs)
+	}
+	det := Evaluate(p).WarmLatency
+	if qs[0] < det/2 || qs[0] > det*2 {
+		t.Errorf("p50 %v far from deterministic %v", qs[0], det)
+	}
+}
+
+func TestPercentilesNoJitterDeterministic(t *testing.T) {
+	p := Params{Servers: 4096, Fanout: 64}
+	qs := Percentiles(p, 100, 1, 0.5, 0.99)
+	if qs[0] != qs[1] {
+		t.Errorf("jitterless percentiles differ: %v", qs)
+	}
+	if qs[0] != Evaluate(p).WarmLatency {
+		t.Errorf("jitterless p50 %v != deterministic %v", qs[0], Evaluate(p).WarmLatency)
+	}
+}
+
+func TestFanoutAblation(t *testing.T) {
+	// The footnote-2 claim: small fanouts explode depth (latency),
+	// huge fanouts collapse it but stress per-node state; 64 sits at
+	// depth 3-4 for realistic cluster sizes.
+	servers := int64(1_000_000)
+	d2 := Evaluate(Params{Servers: servers, Fanout: 2}).Depth
+	d64 := Evaluate(Params{Servers: servers, Fanout: 64}).Depth
+	d1024 := Evaluate(Params{Servers: servers, Fanout: 1024}).Depth
+	if d2 != 20 || d64 != 4 || d1024 != 2 {
+		t.Errorf("depths = %d/%d/%d, want 20/4/2", d2, d64, d1024)
+	}
+}

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the store behaves like a map[string][]byte under random
+// create/write/read/truncate/unlink sequences.
+func TestPropStoreMatchesMapOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := New(Config{})
+		oracle := map[string][]byte{}
+		name := func() string { return fmt.Sprintf("/f%d", r.Intn(8)) }
+
+		for op := 0; op < 200; op++ {
+			n := name()
+			switch r.Intn(5) {
+			case 0: // create
+				err := s.Create(n)
+				_, exists := oracle[n]
+				if exists != (err == ErrExists) {
+					t.Logf("create %s: err=%v exists=%v", n, err, exists)
+					return false
+				}
+				if err == nil {
+					oracle[n] = []byte{}
+				}
+			case 1: // write
+				if _, ok := oracle[n]; !ok {
+					continue
+				}
+				off := int64(r.Intn(64))
+				data := make([]byte, 1+r.Intn(64))
+				r.Read(data)
+				if _, err := s.WriteAt(n, off, data); err != nil {
+					t.Logf("write %s: %v", n, err)
+					return false
+				}
+				cur := oracle[n]
+				end := off + int64(len(data))
+				if end > int64(len(cur)) {
+					nd := make([]byte, end)
+					copy(nd, cur)
+					cur = nd
+				}
+				copy(cur[off:end], data)
+				oracle[n] = cur
+			case 2: // read
+				want, exists := oracle[n]
+				data, _, err := s.ReadAt(n, 0, 1<<20)
+				if !exists {
+					if err != ErrNotFound {
+						t.Logf("read missing %s: %v", n, err)
+						return false
+					}
+					continue
+				}
+				if err != nil || !bytes.Equal(data, want) {
+					t.Logf("read %s: %d bytes vs %d, err=%v", n, len(data), len(want), err)
+					return false
+				}
+			case 3: // truncate
+				if _, ok := oracle[n]; !ok {
+					continue
+				}
+				size := int64(r.Intn(96))
+				if err := s.Truncate(n, size); err != nil {
+					t.Logf("truncate %s: %v", n, err)
+					return false
+				}
+				cur := oracle[n]
+				if size <= int64(len(cur)) {
+					oracle[n] = cur[:size]
+				} else {
+					nd := make([]byte, size)
+					copy(nd, cur)
+					oracle[n] = nd
+				}
+			case 4: // unlink
+				err := s.Unlink(n)
+				_, exists := oracle[n]
+				if exists != (err == nil) {
+					t.Logf("unlink %s: err=%v exists=%v", n, err, exists)
+					return false
+				}
+				delete(oracle, n)
+			}
+		}
+		// Final audit: byte-for-byte agreement plus accounting.
+		var want int64
+		for n, data := range oracle {
+			got, _, err := s.ReadAt(n, 0, 1<<20)
+			if err != nil || !bytes.Equal(got, data) {
+				t.Logf("final read %s mismatch", n)
+				return false
+			}
+			want += int64(len(data))
+		}
+		if s.Count() != len(oracle) {
+			t.Logf("Count = %d, oracle %d", s.Count(), len(oracle))
+			return false
+		}
+		if s.Used() != want {
+			t.Logf("Used = %d, oracle %d", s.Used(), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,387 @@
+// Package store implements a data server's backing store: an in-memory
+// POSIX-like file store plus a simulated Mass Storage System (MSS).
+//
+// The paper's data servers keep files on the host's native file system
+// and may front a tape archive: a requested file that exists only in
+// mass storage is "staged" online, during which the server answers
+// location queries with "preparing" (the Vp state) and clients are told
+// to wait. The store reproduces that behaviour with a configurable
+// staging delay so benchmarks can exercise the Vp/prepare paths the
+// paper describes (Sections II-B2, III-B2).
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"scalla/internal/vclock"
+)
+
+// Errors reported by the store.
+var (
+	ErrNotFound = errors.New("store: file not found")
+	ErrExists   = errors.New("store: file already exists")
+	ErrStaging  = errors.New("store: file is being staged from mass storage")
+	ErrOffline  = errors.New("store: file is offline in mass storage")
+	ErrNoSpace  = errors.New("store: no space left")
+)
+
+// Info describes one file.
+type Info struct {
+	Path   string
+	Size   int64
+	Online bool // false: exists only in mass storage
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// Capacity bounds the total bytes of online data. 0 means unlimited.
+	Capacity int64
+	// StageDelay is how long staging a file from mass storage takes.
+	// Default 2 seconds (the paper notes real staging takes minutes;
+	// benches shrink it).
+	StageDelay time.Duration
+	// OnWrite, if set, is called (on the writer's goroutine, without
+	// store locks held) after every successful WriteAt. Qserv workers
+	// use it to notice queries arriving as file writes (Section IV-B).
+	OnWrite func(path string)
+	// Clock supplies time. Default vclock.Real().
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.StageDelay <= 0 {
+		c.StageDelay = 2 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.Real()
+	}
+	return c
+}
+
+// Store is an in-memory file store with an attached simulated MSS.
+// It is safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	files   map[string][]byte // online data
+	mss     map[string][]byte // offline (tape) copies
+	staging map[string]chan struct{}
+	used    int64
+}
+
+// New returns an empty Store.
+func New(cfg Config) *Store {
+	return &Store{
+		cfg:     cfg.withDefaults(),
+		files:   make(map[string][]byte),
+		mss:     make(map[string][]byte),
+		staging: make(map[string]chan struct{}),
+	}
+}
+
+// Put places an online file, replacing any existing content. It is the
+// loader used by workload generators.
+func (s *Store) Put(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := int64(len(s.files[path]))
+	if err := s.reserve(int64(len(data)) - old); err != nil {
+		return err
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.files[path] = cp
+	return nil
+}
+
+// PutOffline places a file in the simulated mass storage only.
+func (s *Store) PutOffline(path string, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mss[path] = cp
+}
+
+// reserve accounts delta bytes against capacity. Caller holds s.mu.
+func (s *Store) reserve(delta int64) error {
+	if s.cfg.Capacity > 0 && s.used+delta > s.cfg.Capacity {
+		return ErrNoSpace
+	}
+	s.used += delta
+	if s.used < 0 {
+		s.used = 0
+	}
+	return nil
+}
+
+// Create makes a new empty online file. It fails with ErrExists if the
+// path exists online or in mass storage.
+func (s *Store) Create(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; ok {
+		return ErrExists
+	}
+	if _, ok := s.mss[path]; ok {
+		return ErrExists
+	}
+	s.files[path] = nil
+	return nil
+}
+
+// Stat reports metadata for path. A staged-out file reports
+// Online=false.
+func (s *Store) Stat(path string) (Info, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.files[path]; ok {
+		return Info{Path: path, Size: int64(len(d)), Online: true}, nil
+	}
+	if d, ok := s.mss[path]; ok {
+		return Info{Path: path, Size: int64(len(d)), Online: false}, nil
+	}
+	return Info{}, ErrNotFound
+}
+
+// HasOnline reports whether path is immediately servable.
+func (s *Store) HasOnline(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.files[path]
+	return ok
+}
+
+// Has reports whether path exists at all (online or in mass storage).
+func (s *Store) Has(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; ok {
+		return true
+	}
+	_, ok := s.mss[path]
+	return ok
+}
+
+// IsStaging reports whether path is currently being staged.
+func (s *Store) IsStaging(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.staging[path]
+	return ok
+}
+
+// Stage begins bringing an offline file online, if it is not already
+// online or being staged. It returns a channel closed when staging
+// completes (immediately-closed for online files) and ErrNotFound for
+// unknown paths.
+func (s *Store) Stage(path string) (<-chan struct{}, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; ok {
+		done := make(chan struct{})
+		close(done)
+		return done, nil
+	}
+	if ch, ok := s.staging[path]; ok {
+		return ch, nil
+	}
+	data, ok := s.mss[path]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	ch := make(chan struct{})
+	s.staging[path] = ch
+	go func() {
+		s.cfg.Clock.Sleep(s.cfg.StageDelay)
+		s.mu.Lock()
+		if _, still := s.staging[path]; still {
+			delete(s.staging, path)
+			if s.reserve(int64(len(data))) == nil {
+				s.files[path] = data
+			}
+		}
+		s.mu.Unlock()
+		close(ch)
+	}()
+	return ch, nil
+}
+
+// ReadAt reads up to n bytes at off. It reports eof when the read
+// reaches the end of the file. Reading an offline file begins staging
+// and returns ErrStaging; the caller should tell the client to wait.
+func (s *Store) ReadAt(path string, off int64, n int) (data []byte, eof bool, err error) {
+	s.mu.Lock()
+	d, ok := s.files[path]
+	if !ok {
+		_, inMSS := s.mss[path]
+		s.mu.Unlock()
+		if inMSS {
+			if _, serr := s.Stage(path); serr == nil {
+				return nil, false, ErrStaging
+			}
+		}
+		return nil, false, ErrNotFound
+	}
+	if off < 0 {
+		s.mu.Unlock()
+		return nil, false, fmt.Errorf("store: negative offset %d", off)
+	}
+	if off >= int64(len(d)) {
+		s.mu.Unlock()
+		return nil, true, nil
+	}
+	end := off + int64(n)
+	if end >= int64(len(d)) {
+		end = int64(len(d))
+		eof = true
+	}
+	out := make([]byte, end-off)
+	copy(out, d[off:end])
+	s.mu.Unlock()
+	return out, eof, nil
+}
+
+// WriteAt writes data at off, growing the file (zero-filled gap) as
+// needed. The file must be online.
+func (s *Store) WriteAt(path string, off int64, data []byte) (int, error) {
+	s.mu.Lock()
+	d, ok := s.files[path]
+	if !ok {
+		_, inMSS := s.mss[path]
+		s.mu.Unlock()
+		if inMSS {
+			return 0, ErrOffline
+		}
+		return 0, ErrNotFound
+	}
+	if off < 0 {
+		s.mu.Unlock()
+		return 0, fmt.Errorf("store: negative offset %d", off)
+	}
+	end := off + int64(len(data))
+	if end > int64(len(d)) {
+		if err := s.reserve(end - int64(len(d))); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+		nd := make([]byte, end)
+		copy(nd, d)
+		d = nd
+	}
+	copy(d[off:end], data)
+	s.files[path] = d
+	hook := s.cfg.OnWrite
+	s.mu.Unlock()
+	if hook != nil {
+		hook(path)
+	}
+	return len(data), nil
+}
+
+// Truncate resizes path to size bytes, zero-filling any extension. The
+// file must be online.
+func (s *Store) Truncate(path string, size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.files[path]
+	if !ok {
+		if _, inMSS := s.mss[path]; inMSS {
+			return ErrOffline
+		}
+		return ErrNotFound
+	}
+	if size < 0 {
+		return fmt.Errorf("store: negative size %d", size)
+	}
+	if err := s.reserve(size - int64(len(d))); err != nil {
+		return err
+	}
+	if size <= int64(len(d)) {
+		s.files[path] = d[:size:size]
+		return nil
+	}
+	nd := make([]byte, size)
+	copy(nd, d)
+	s.files[path] = nd
+	return nil
+}
+
+// Unlink removes path from the online store and mass storage. Removing
+// a file mid-staging cancels the staging result.
+func (s *Store) Unlink(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, online := s.files[path]
+	_, offline := s.mss[path]
+	if !online && !offline {
+		return ErrNotFound
+	}
+	if online {
+		s.used -= int64(len(d))
+		if s.used < 0 {
+			s.used = 0
+		}
+		delete(s.files, path)
+	}
+	delete(s.mss, path)
+	delete(s.staging, path) // staging goroutine will find it gone
+	return nil
+}
+
+// List returns Info for every file (online and offline) under prefix,
+// sorted by path. It backs the Cluster Name Space daemon.
+func (s *Store) List(prefix string) []Info {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Info
+	for p, d := range s.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, Info{Path: p, Size: int64(len(d)), Online: true})
+		}
+	}
+	for p, d := range s.mss {
+		if _, online := s.files[p]; online {
+			continue
+		}
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, Info{Path: p, Size: int64(len(d)), Online: false})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Used returns the bytes of online data.
+func (s *Store) Used() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Free returns the remaining capacity, or a large value when unlimited.
+func (s *Store) Free() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cfg.Capacity <= 0 {
+		return 1 << 50
+	}
+	f := s.cfg.Capacity - s.used
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// Count returns the number of online files.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.files)
+}

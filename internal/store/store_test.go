@@ -1,0 +1,287 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"scalla/internal/vclock"
+)
+
+func TestCreateWriteRead(t *testing.T) {
+	s := New(Config{})
+	if err := s.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("/f"); err != ErrExists {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	n, err := s.WriteAt("/f", 0, []byte("hello world"))
+	if err != nil || n != 11 {
+		t.Fatalf("WriteAt = %d, %v", n, err)
+	}
+	data, eof, err := s.ReadAt("/f", 6, 5)
+	if err != nil || !eof || string(data) != "world" {
+		t.Fatalf("ReadAt = %q, eof=%v, %v", data, eof, err)
+	}
+	data, eof, err = s.ReadAt("/f", 0, 5)
+	if err != nil || eof || string(data) != "hello" {
+		t.Fatalf("ReadAt = %q, eof=%v, %v", data, eof, err)
+	}
+}
+
+func TestReadPastEOF(t *testing.T) {
+	s := New(Config{})
+	s.Put("/f", []byte("abc"))
+	data, eof, err := s.ReadAt("/f", 10, 5)
+	if err != nil || !eof || len(data) != 0 {
+		t.Fatalf("ReadAt past EOF = %q, eof=%v, %v", data, eof, err)
+	}
+}
+
+func TestNegativeOffsets(t *testing.T) {
+	s := New(Config{})
+	s.Put("/f", []byte("abc"))
+	if _, _, err := s.ReadAt("/f", -1, 5); err == nil {
+		t.Error("negative read offset accepted")
+	}
+	if _, err := s.WriteAt("/f", -1, []byte("x")); err == nil {
+		t.Error("negative write offset accepted")
+	}
+}
+
+func TestSparseWriteZeroFills(t *testing.T) {
+	s := New(Config{})
+	s.Create("/f")
+	s.WriteAt("/f", 5, []byte("xy"))
+	data, eof, err := s.ReadAt("/f", 0, 10)
+	if err != nil || !eof {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte{0, 0, 0, 0, 0, 'x', 'y'}) {
+		t.Fatalf("sparse data = %v", data)
+	}
+}
+
+func TestStatAndHas(t *testing.T) {
+	s := New(Config{})
+	s.Put("/on", []byte("1234"))
+	s.PutOffline("/off", []byte("123456"))
+
+	in, err := s.Stat("/on")
+	if err != nil || !in.Online || in.Size != 4 {
+		t.Fatalf("Stat online = %+v, %v", in, err)
+	}
+	in, err = s.Stat("/off")
+	if err != nil || in.Online || in.Size != 6 {
+		t.Fatalf("Stat offline = %+v, %v", in, err)
+	}
+	if _, err := s.Stat("/nope"); err != ErrNotFound {
+		t.Fatalf("Stat missing = %v", err)
+	}
+	if !s.Has("/off") || s.HasOnline("/off") {
+		t.Error("Has/HasOnline wrong for offline file")
+	}
+	if !s.HasOnline("/on") {
+		t.Error("HasOnline wrong for online file")
+	}
+}
+
+func TestStagingBringsFileOnline(t *testing.T) {
+	fc := vclock.NewFake()
+	s := New(Config{StageDelay: time.Minute, Clock: fc})
+	s.PutOffline("/tape", []byte("archived"))
+
+	// First read triggers staging.
+	_, _, err := s.ReadAt("/tape", 0, 8)
+	if err != ErrStaging {
+		t.Fatalf("ReadAt offline = %v, want ErrStaging", err)
+	}
+	if !s.IsStaging("/tape") {
+		t.Fatal("staging not in progress")
+	}
+	ch, err := s.Stage("/tape") // idempotent
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.BlockUntil(1)
+	fc.Advance(time.Minute)
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("staging never completed")
+	}
+	data, _, err := s.ReadAt("/tape", 0, 8)
+	if err != nil || string(data) != "archived" {
+		t.Fatalf("post-stage read = %q, %v", data, err)
+	}
+	if s.IsStaging("/tape") {
+		t.Error("still staging after completion")
+	}
+}
+
+func TestStageOnlineFileIsImmediate(t *testing.T) {
+	s := New(Config{})
+	s.Put("/f", []byte("x"))
+	ch, err := s.Stage("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("staging an online file must complete immediately")
+	}
+}
+
+func TestStageUnknownFile(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Stage("/nope"); err != ErrNotFound {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteOfflineFileFails(t *testing.T) {
+	s := New(Config{})
+	s.PutOffline("/tape", []byte("x"))
+	if _, err := s.WriteAt("/tape", 0, []byte("y")); err != ErrOffline {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	s := New(Config{})
+	s.Put("/f", []byte("0123456789"))
+	if err := s.Truncate("/f", 4); err != nil {
+		t.Fatal(err)
+	}
+	data, eof, _ := s.ReadAt("/f", 0, 20)
+	if !eof || string(data) != "0123" {
+		t.Fatalf("after shrink: %q eof=%v", data, eof)
+	}
+	if err := s.Truncate("/f", 8); err != nil {
+		t.Fatal(err)
+	}
+	data, _, _ = s.ReadAt("/f", 0, 20)
+	if string(data) != "0123\x00\x00\x00\x00" {
+		t.Fatalf("after grow: %v", data)
+	}
+	if err := s.Truncate("/f", -1); err == nil {
+		t.Error("negative size accepted")
+	}
+	if err := s.Truncate("/nope", 0); err != ErrNotFound {
+		t.Errorf("missing file: %v", err)
+	}
+	s.PutOffline("/t", []byte("x"))
+	if err := s.Truncate("/t", 0); err != ErrOffline {
+		t.Errorf("offline file: %v", err)
+	}
+}
+
+func TestTruncateRespectsCapacity(t *testing.T) {
+	s := New(Config{Capacity: 10})
+	s.Put("/f", []byte("12345"))
+	if err := s.Truncate("/f", 20); err != ErrNoSpace {
+		t.Fatalf("over-capacity grow: %v", err)
+	}
+	if err := s.Truncate("/f", 2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 2 {
+		t.Errorf("Used = %d after shrink", s.Used())
+	}
+}
+
+func TestUnlink(t *testing.T) {
+	s := New(Config{})
+	s.Put("/f", []byte("12345"))
+	if s.Used() != 5 {
+		t.Fatalf("Used = %d", s.Used())
+	}
+	if err := s.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 0 {
+		t.Errorf("Used = %d after unlink", s.Used())
+	}
+	if err := s.Unlink("/f"); err != ErrNotFound {
+		t.Fatalf("double unlink = %v", err)
+	}
+}
+
+func TestUnlinkCancelsStaging(t *testing.T) {
+	fc := vclock.NewFake()
+	s := New(Config{StageDelay: time.Minute, Clock: fc})
+	s.PutOffline("/tape", []byte("x"))
+	ch, _ := s.Stage("/tape")
+	s.Unlink("/tape")
+	fc.BlockUntil(1)
+	fc.Advance(time.Minute)
+	<-ch
+	if s.Has("/tape") {
+		t.Error("unlinked file reappeared after staging")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	s := New(Config{Capacity: 10})
+	if err := s.Put("/a", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("/b", make([]byte, 8)); err != ErrNoSpace {
+		t.Fatalf("over-capacity Put = %v", err)
+	}
+	if s.Free() != 2 {
+		t.Errorf("Free = %d, want 2", s.Free())
+	}
+	s.Create("/c")
+	if _, err := s.WriteAt("/c", 0, make([]byte, 3)); err != ErrNoSpace {
+		t.Fatalf("over-capacity WriteAt = %v", err)
+	}
+	if _, err := s.WriteAt("/c", 0, make([]byte, 2)); err != nil {
+		t.Fatalf("in-capacity WriteAt = %v", err)
+	}
+}
+
+func TestFreeUnlimited(t *testing.T) {
+	s := New(Config{})
+	if s.Free() < 1<<40 {
+		t.Error("unlimited store must report huge free space")
+	}
+}
+
+func TestList(t *testing.T) {
+	s := New(Config{})
+	s.Put("/store/b", []byte("1"))
+	s.Put("/store/a", []byte("22"))
+	s.PutOffline("/store/c", []byte("333"))
+	s.Put("/other/x", []byte("4"))
+
+	got := s.List("/store")
+	if len(got) != 3 {
+		t.Fatalf("List = %d entries, want 3", len(got))
+	}
+	if got[0].Path != "/store/a" || got[1].Path != "/store/b" || got[2].Path != "/store/c" {
+		t.Errorf("List order wrong: %+v", got)
+	}
+	if !got[0].Online || got[2].Online {
+		t.Errorf("online flags wrong: %+v", got)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d, want 3 online files", s.Count())
+	}
+}
+
+func TestPutReplacesAccounting(t *testing.T) {
+	s := New(Config{Capacity: 10})
+	s.Put("/f", make([]byte, 8))
+	if err := s.Put("/f", make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used() != 4 {
+		t.Errorf("Used = %d, want 4", s.Used())
+	}
+	if err := s.Put("/f", make([]byte, 10)); err != nil {
+		t.Fatalf("replacement within capacity refused: %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package transport
+
+import "sync/atomic"
+
+// CountingNetwork wraps a Network and counts every frame and byte that
+// crosses it. The benchmark harness uses it to measure protocol traffic
+// (registration cost in E14, query/response message counts in E10).
+type CountingNetwork struct {
+	inner Network
+
+	FramesSent atomic.Int64
+	BytesSent  atomic.Int64
+	Dials      atomic.Int64
+}
+
+// Counting wraps net with frame/byte counting.
+func Counting(net Network) *CountingNetwork {
+	return &CountingNetwork{inner: net}
+}
+
+// Reset zeroes the counters.
+func (n *CountingNetwork) Reset() {
+	n.FramesSent.Store(0)
+	n.BytesSent.Store(0)
+	n.Dials.Store(0)
+}
+
+func (n *CountingNetwork) Listen(addr string) (Listener, error) {
+	l, err := n.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &countingListener{l: l, n: n}, nil
+}
+
+func (n *CountingNetwork) Dial(addr string) (Conn, error) {
+	c, err := n.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	n.Dials.Add(1)
+	return &countingConn{Conn: c, n: n}, nil
+}
+
+type countingListener struct {
+	l Listener
+	n *CountingNetwork
+}
+
+func (cl *countingListener) Accept() (Conn, error) {
+	c, err := cl.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &countingConn{Conn: c, n: cl.n}, nil
+}
+
+func (cl *countingListener) Close() error { return cl.l.Close() }
+func (cl *countingListener) Addr() string { return cl.l.Addr() }
+
+type countingConn struct {
+	Conn
+	n *CountingNetwork
+}
+
+func (cc *countingConn) Send(frame []byte) error {
+	err := cc.Conn.Send(frame)
+	if err == nil {
+		cc.n.FramesSent.Add(1)
+		cc.n.BytesSent.Add(int64(len(frame)))
+	}
+	return err
+}

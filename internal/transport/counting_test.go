@@ -1,0 +1,46 @@
+package transport
+
+import "testing"
+
+func TestCountingNetworkCountsFramesAndBytes(t *testing.T) {
+	cn := Counting(NewInProc(InProcConfig{}))
+	l, err := cn.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	acc := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			acc <- c
+		}
+	}()
+	cli, err := cn.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-acc
+
+	if cn.Dials.Load() != 1 {
+		t.Errorf("Dials = %d", cn.Dials.Load())
+	}
+	cli.Send([]byte("12345"))
+	srv.Recv()
+	srv.Send([]byte("123"))
+	cli.Recv()
+	if cn.FramesSent.Load() != 2 {
+		t.Errorf("FramesSent = %d", cn.FramesSent.Load())
+	}
+	if cn.BytesSent.Load() != 8 {
+		t.Errorf("BytesSent = %d", cn.BytesSent.Load())
+	}
+	cn.Reset()
+	if cn.FramesSent.Load() != 0 || cn.BytesSent.Load() != 0 || cn.Dials.Load() != 0 {
+		t.Error("Reset did not clear counters")
+	}
+}
+
+func TestCountingNetworkContract(t *testing.T) {
+	exercise(t, Counting(NewInProc(InProcConfig{})), "node-x")
+}

@@ -1,0 +1,336 @@
+// Package transport moves protocol frames between Scalla daemons.
+//
+// Two implementations are provided. TCP carries frames over real
+// sockets with a 4-byte length prefix — what production deployments
+// use. InProc carries frames over channels inside one process, with
+// configurable one-way latency and fault injection; the benchmark
+// harness uses it to emulate the paper's LAN regime (~50 µs one-way)
+// deterministically and to build thousand-node clusters in one process.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// MaxFrame is the largest frame either implementation will carry.
+// Scalla frames are small (names plus vectors); data-plane reads are
+// chunked well below this by the server.
+const MaxFrame = 16 << 20
+
+// ErrClosed is returned by operations on a closed connection or
+// listener.
+var ErrClosed = errors.New("transport: closed")
+
+// Conn is a bidirectional, frame-oriented connection. Send and Recv are
+// each safe for one concurrent caller; distinct goroutines may send and
+// receive simultaneously.
+type Conn interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Recv blocks for the next frame. It returns io.EOF after the peer
+	// closes.
+	Recv() ([]byte, error)
+	// Close tears the connection down; pending Recvs unblock.
+	Close() error
+	// RemoteAddr names the peer, for logging and redirection.
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the address peers dial to reach this listener.
+	Addr() string
+}
+
+// Network abstracts dialing and listening so daemons run unchanged over
+// TCP or in-process channels.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// ------------------------------------------------------------------ TCP
+
+type tcpNetwork struct{}
+
+// TCP returns the production Network backed by the net package.
+// Listen("host:0") picks a free port; Listener.Addr reports it.
+func TCP() Network { return tcpNetwork{} }
+
+func (tcpNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (tcpNetwork) Dial(addr string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+type tcpListener struct{ l net.Listener }
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }
+
+type tcpConn struct {
+	c    net.Conn
+	rmu  sync.Mutex
+	wmu  sync.Mutex
+	rbuf []byte
+}
+
+func newTCPConn(c net.Conn) *tcpConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // latency matters more than throughput here
+	}
+	return &tcpConn{c: c}
+}
+
+func (t *tcpConn) Send(frame []byte) error {
+	if len(frame) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
+	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
+	if _, err := t.c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(frame)
+	return err
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("transport: oversized frame header %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(t.c, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (t *tcpConn) Close() error       { return t.c.Close() }
+func (t *tcpConn) RemoteAddr() string { return t.c.RemoteAddr().String() }
+
+// --------------------------------------------------------------- InProc
+
+// InProcConfig tunes the in-process network.
+type InProcConfig struct {
+	// Latency is the one-way frame delay, emulating the interconnect.
+	// Zero means instantaneous delivery.
+	Latency time.Duration
+	// QueueLen is the per-direction frame buffer. Default 256.
+	QueueLen int
+}
+
+// InProc is an in-process Network. Addresses are arbitrary strings.
+type InProc struct {
+	cfg InProcConfig
+
+	mu        sync.Mutex
+	listeners map[string]*inprocListener
+	cut       map[string]bool // partitioned addresses
+}
+
+// NewInProc returns an empty in-process network.
+func NewInProc(cfg InProcConfig) *InProc {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 256
+	}
+	return &InProc{
+		cfg:       cfg,
+		listeners: make(map[string]*inprocListener),
+		cut:       make(map[string]bool),
+	}
+}
+
+// Partition makes addr unreachable for new dials (existing connections
+// survive, as with a real routing change). Pass reachable=true to heal.
+func (n *InProc) SetReachable(addr string, reachable bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if reachable {
+		delete(n.cut, addr)
+	} else {
+		n.cut[addr] = true
+	}
+}
+
+func (n *InProc) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q already bound", addr)
+	}
+	l := &inprocListener{
+		net:     n,
+		addr:    addr,
+		backlog: make(chan *inprocConn, 64),
+		done:    make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+func (n *InProc) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	cut := n.cut[addr]
+	n.mu.Unlock()
+	if !ok || cut {
+		return nil, fmt.Errorf("transport: connection refused to %q", addr)
+	}
+	a, b := n.pipe(addr)
+	select {
+	case l.backlog <- b:
+		return a, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+// pipe builds two connected endpoints. Endpoint a's remote is addr;
+// endpoint b's remote is "client".
+func (n *InProc) pipe(addr string) (*inprocConn, *inprocConn) {
+	ab := make(chan frame, n.cfg.QueueLen)
+	ba := make(chan frame, n.cfg.QueueLen)
+	closed := make(chan struct{})
+	var once sync.Once
+	closeFn := func() { once.Do(func() { close(closed) }) }
+	a := &inprocConn{send: ab, recv: ba, closed: closed, closeFn: closeFn, remote: addr, lat: n.cfg.Latency}
+	b := &inprocConn{send: ba, recv: ab, closed: closed, closeFn: closeFn, remote: "client", lat: n.cfg.Latency}
+	return a, b
+}
+
+type inprocListener struct {
+	net     *InProc
+	addr    string
+	backlog chan *inprocConn
+	done    chan struct{}
+	once    sync.Once
+}
+
+func (l *inprocListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *inprocListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *inprocListener) Addr() string { return l.addr }
+
+type frame struct {
+	data    []byte
+	readyAt time.Time // latency emulation: not deliverable before this
+}
+
+type inprocConn struct {
+	send    chan frame
+	recv    chan frame
+	closed  chan struct{}
+	closeFn func()
+	remote  string
+	lat     time.Duration
+}
+
+func (c *inprocConn) Send(b []byte) error {
+	if len(b) > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(b))
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	f := frame{data: cp}
+	if c.lat > 0 {
+		f.readyAt = time.Now().Add(c.lat)
+	}
+	select {
+	case c.send <- f:
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	}
+}
+
+func (c *inprocConn) Recv() ([]byte, error) {
+	select {
+	case f := <-c.recv:
+		if !f.readyAt.IsZero() {
+			// time.Sleep granularity is ~1ms on coarse-timer kernels,
+			// far above the microsecond link latencies the benchmarks
+			// emulate; spin out short remainders instead.
+			for {
+				d := time.Until(f.readyAt)
+				if d <= 0 {
+					break
+				}
+				if d > 2*time.Millisecond {
+					time.Sleep(d - time.Millisecond)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}
+		return f.data, nil
+	case <-c.closed:
+		// Drain anything already queued before reporting EOF, so a
+		// close immediately after a send does not lose the frame.
+		select {
+		case f := <-c.recv:
+			return f.data, nil
+		default:
+		}
+		return nil, io.EOF
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.closeFn()
+	return nil
+}
+
+func (c *inprocConn) RemoteAddr() string { return c.remote }

@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// exercise runs the common Conn contract against any Network.
+func exercise(t *testing.T, n Network, addr string) {
+	t.Helper()
+	l, err := n.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	type acc struct {
+		c   Conn
+		err error
+	}
+	accCh := make(chan acc, 1)
+	go func() {
+		c, err := l.Accept()
+		accCh <- acc{c, err}
+	}()
+
+	cli, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	a := <-accCh
+	if a.err != nil {
+		t.Fatal(a.err)
+	}
+	srv := a.c
+	defer srv.Close()
+
+	// Client → server.
+	msg := []byte("hello scalla")
+	if err := cli.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+
+	// Server → client, several frames preserving boundaries and order.
+	for i := 0; i < 10; i++ {
+		if err := srv.Send([]byte(fmt.Sprintf("frame-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		got, err := cli.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("frame-%d", i); string(got) != want {
+			t.Fatalf("frame %d: got %q, want %q", i, got, want)
+		}
+	}
+
+	// Empty frame is legal.
+	if err := cli.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := srv.Recv(); err != nil || len(got) != 0 {
+		t.Fatalf("empty frame: %q, %v", got, err)
+	}
+
+	// Close unblocks the peer's Recv with EOF.
+	cli.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = srv.Recv()
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Recv never unblocked after peer close")
+		}
+	}
+	if err != io.EOF && err != ErrClosed {
+		// TCP surfaces close as EOF; inproc as EOF too. Either is fine,
+		// but it must be a terminal error.
+		t.Logf("terminal error: %v", err)
+	}
+}
+
+func TestTCPConnContract(t *testing.T) {
+	exercise(t, TCP(), "127.0.0.1:0")
+}
+
+func TestInProcConnContract(t *testing.T) {
+	exercise(t, NewInProc(InProcConfig{}), "node-a")
+}
+
+func TestInProcDialUnknownAddr(t *testing.T) {
+	n := NewInProc(InProcConfig{})
+	if _, err := n.Dial("nowhere"); err == nil {
+		t.Fatal("dial to unbound address succeeded")
+	}
+}
+
+func TestInProcDuplicateBind(t *testing.T) {
+	n := NewInProc(InProcConfig{})
+	l, err := n.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a"); err == nil {
+		t.Fatal("duplicate bind succeeded")
+	}
+	l.Close()
+	// Address is reusable after close.
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+}
+
+func TestInProcPartition(t *testing.T) {
+	n := NewInProc(InProcConfig{})
+	l, _ := n.Listen("srv")
+	defer l.Close()
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := n.Dial("srv"); err != nil {
+		t.Fatalf("pre-partition dial: %v", err)
+	}
+	n.SetReachable("srv", false)
+	if _, err := n.Dial("srv"); err == nil {
+		t.Fatal("dial through partition succeeded")
+	}
+	n.SetReachable("srv", true)
+	if _, err := n.Dial("srv"); err != nil {
+		t.Fatalf("post-heal dial: %v", err)
+	}
+}
+
+func TestInProcLatency(t *testing.T) {
+	n := NewInProc(InProcConfig{Latency: 20 * time.Millisecond})
+	l, _ := n.Listen("srv")
+	defer l.Close()
+	connCh := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			connCh <- c
+		}
+	}()
+	cli, err := n.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-connCh
+
+	start := time.Now()
+	cli.Send([]byte("x"))
+	if _, err := srv.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 18*time.Millisecond {
+		t.Errorf("one-way delivery took %v, want >= ~20ms", d)
+	}
+}
+
+func TestInProcCloseDrainsPendingFrame(t *testing.T) {
+	n := NewInProc(InProcConfig{})
+	l, _ := n.Listen("srv")
+	defer l.Close()
+	connCh := make(chan Conn, 1)
+	go func() {
+		c, _ := l.Accept()
+		connCh <- c
+	}()
+	cli, _ := n.Dial("srv")
+	srv := <-connCh
+	cli.Send([]byte("last words"))
+	cli.Close()
+	got, err := srv.Recv()
+	if err != nil || string(got) != "last words" {
+		t.Fatalf("lost frame sent before close: %q, %v", got, err)
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	n := NewInProc(InProcConfig{})
+	l, _ := n.Listen("srv")
+	defer l.Close()
+	go l.Accept()
+	cli, _ := n.Dial("srv")
+	if err := cli.Send(make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestTCPLargeFrame(t *testing.T) {
+	n := TCP()
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		frame, err := c.Recv()
+		if err == nil {
+			got <- frame
+		}
+	}()
+	cli, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	big := make([]byte, 4<<20) // 4 MiB
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	if err := cli.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case frame := <-got:
+		if !bytes.Equal(frame, big) {
+			t.Fatal("4 MiB frame corrupted in transit")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("large frame never arrived")
+	}
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	n := TCP()
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan int, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- -1
+			return
+		}
+		count := 0
+		for {
+			if _, err := c.Recv(); err != nil {
+				break
+			}
+			count++
+		}
+		done <- count
+	}()
+	cli, err := n.Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := cli.Send([]byte("concurrent frame")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cli.Close()
+	if got := <-done; got != 400 {
+		t.Fatalf("received %d frames, want 400 (interleaving corrupted framing?)", got)
+	}
+}

@@ -1,0 +1,213 @@
+// Package vclock abstracts time for Scalla's core components.
+//
+// The paper's algorithms are saturated with wall-clock policy: 8-hour
+// location-object lifetimes, 7.5-minute eviction windows, 5-second
+// processing deadlines, 133 ms fast-response periods. Testing those
+// against real time is hopeless, so every core component takes a Clock.
+// Production code uses Real(); tests use a Fake clock they can advance
+// deterministically.
+package vclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock supplies the time operations core components need.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that delivers the then-current time once
+	// d has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks the calling goroutine for d.
+	Sleep(d time.Duration)
+	// NewTicker returns a ticker firing every d. d must be positive.
+	NewTicker(d time.Duration) Ticker
+}
+
+// Ticker is the subset of time.Ticker the core needs.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// ---------------------------------------------------------------- real --
+
+type realClock struct{}
+
+// Real returns a Clock backed by the time package.
+func Real() Clock { return realClock{} }
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (realClock) NewTicker(d time.Duration) Ticker {
+	return realTicker{time.NewTicker(d)}
+}
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }
+
+// ---------------------------------------------------------------- fake --
+
+// Fake is a manually advanced Clock. It is safe for concurrent use.
+// The zero value is not usable; call NewFake.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+	seq     int // tiebreak so equal deadlines fire FIFO
+}
+
+type waiter struct {
+	deadline time.Time
+	seq      int
+	ch       chan time.Time
+	period   time.Duration // 0 for one-shot
+	stopped  bool
+}
+
+// NewFake returns a Fake clock starting at a fixed, arbitrary epoch.
+func NewFake() *Fake {
+	return &Fake{now: time.Date(2012, 5, 21, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the fake current time.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// After returns a channel that fires when the fake clock has been
+// advanced past d from now.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &waiter{deadline: f.now.Add(d), seq: f.seq, ch: make(chan time.Time, 1)}
+	f.seq++
+	if d <= 0 {
+		w.ch <- f.now
+		return w.ch
+	}
+	f.waiters = append(f.waiters, w)
+	return w.ch
+}
+
+// Sleep blocks until the clock is advanced past d. It must be advanced
+// from another goroutine.
+func (f *Fake) Sleep(d time.Duration) { <-f.After(d) }
+
+type fakeTicker struct {
+	f *Fake
+	w *waiter
+}
+
+// NewTicker returns a ticker driven by Advance.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker period")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &waiter{deadline: f.now.Add(d), seq: f.seq, ch: make(chan time.Time, 1), period: d}
+	f.seq++
+	f.waiters = append(f.waiters, w)
+	return &fakeTicker{f: f, w: w}
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.w.ch }
+
+func (t *fakeTicker) Stop() {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	t.w.stopped = true
+}
+
+// WaiterCount returns the number of pending timers/tickers. Tests use it
+// to ensure a component has armed its timer before advancing.
+func (f *Fake) WaiterCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.waiters {
+		if !w.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockUntil polls until at least n timers/tickers are pending.
+func (f *Fake) BlockUntil(n int) {
+	for f.WaiterCount() < n {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Advance moves the fake time forward by d, firing every timer and
+// ticker whose deadline is reached, in deadline order. Ticker channels
+// have capacity 1; a tick that finds the channel full is dropped, like
+// time.Ticker.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	target := f.now.Add(d)
+	for {
+		idx := -1
+		for i, w := range f.waiters {
+			if w.stopped {
+				continue
+			}
+			if !w.deadline.After(target) {
+				if idx == -1 || w.deadline.Before(f.waiters[idx].deadline) ||
+					(w.deadline.Equal(f.waiters[idx].deadline) && w.seq < f.waiters[idx].seq) {
+					idx = i
+				}
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		w := f.waiters[idx]
+		f.now = w.deadline
+		select {
+		case w.ch <- f.now:
+		default: // ticker consumer behind; drop tick
+		}
+		if w.period > 0 {
+			w.deadline = w.deadline.Add(w.period)
+			w.seq = f.seq
+			f.seq++
+		} else {
+			f.waiters = append(f.waiters[:idx], f.waiters[idx+1:]...)
+		}
+	}
+	f.now = target
+	f.compact()
+	f.mu.Unlock()
+}
+
+// AdvanceTo moves the fake time to t (no-op if t is in the past).
+func (f *Fake) AdvanceTo(t time.Time) {
+	now := f.Now()
+	if t.After(now) {
+		f.Advance(t.Sub(now))
+	}
+}
+
+func (f *Fake) compact() {
+	live := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.stopped {
+			live = append(live, w)
+		}
+	}
+	f.waiters = live
+	sort.SliceStable(f.waiters, func(i, j int) bool {
+		return f.waiters[i].deadline.Before(f.waiters[j].deadline)
+	})
+}

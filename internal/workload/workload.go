@@ -1,0 +1,246 @@
+// Package workload generates and drives the access pattern that
+// motivated Scalla (paper Section II-A): analysis frameworks that
+// perform "several meta-data operations on dozens of files per job"
+// before reading, at thousands of transactions per second across the
+// cluster, over large replicated datasets.
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"scalla/internal/client"
+	"scalla/internal/metrics"
+)
+
+// DatasetConfig describes a synthetic dataset placement.
+type DatasetConfig struct {
+	// Files is the number of distinct files.
+	Files int
+	// Replicas is how many servers hold each file.
+	Replicas int
+	// SizeBytes is each file's payload size.
+	SizeBytes int
+	// PathPrefix roots the dataset namespace. Default "/store/dataset".
+	PathPrefix string
+	// Seed makes placement deterministic.
+	Seed int64
+}
+
+// Placer abstracts "put these bytes on server i" so the generator works
+// against any cluster shape (the scalla.Cluster facade satisfies it via
+// a small adapter).
+type Placer interface {
+	// Servers returns the number of data servers.
+	Servers() int
+	// Place stores data at path on server index i.
+	Place(i int, path string, data []byte) error
+}
+
+// PlaceDataset synthesizes the dataset and spreads it (with replicas)
+// across the placer's servers. It returns the file paths.
+func PlaceDataset(p Placer, cfg DatasetConfig) ([]string, error) {
+	if cfg.PathPrefix == "" {
+		cfg.PathPrefix = "/store/dataset"
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > p.Servers() {
+		cfg.Replicas = p.Servers()
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	payload := make([]byte, cfg.SizeBytes)
+	r.Read(payload)
+	paths := make([]string, cfg.Files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("%s/run%03d/file-%06d.root", cfg.PathPrefix, i%50, i)
+		first := r.Intn(p.Servers())
+		for rep := 0; rep < cfg.Replicas; rep++ {
+			if err := p.Place((first+rep)%p.Servers(), paths[i], payload); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return paths, nil
+}
+
+// JobConfig shapes one analysis job.
+type JobConfig struct {
+	// FilesPerJob is how many dataset files a job touches ("dozens").
+	FilesPerJob int
+	// MetaOpsPerFile is the stat/locate operations issued per file
+	// before any data is read ("several meta-data operations").
+	MetaOpsPerFile int
+	// ReadBytes is how much of each file the job reads (0 = none).
+	ReadBytes int
+	// CreatesPerJob makes each job create that many fresh output files
+	// — the "bulk file creations" mode the paper says the design
+	// targets (Section III-B2). Creators should Prepare first; the
+	// runner does when PrepareCreates is set.
+	CreatesPerJob int
+	// PrepareCreates announces the output paths ahead of creation.
+	PrepareCreates bool
+}
+
+// Job is one unit of analysis work: the files it will touch.
+type Job struct {
+	ID    int
+	Paths []string
+}
+
+// GenerateJobs deals nJobs jobs over the dataset, each touching
+// cfg.FilesPerJob files chosen with a working-set skew (hot files are
+// touched more, like popular run ranges).
+func GenerateJobs(dataset []string, nJobs int, cfg JobConfig, seed int64) []Job {
+	r := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, nJobs)
+	for j := range jobs {
+		jobs[j].ID = j
+		jobs[j].Paths = make([]string, cfg.FilesPerJob)
+		for k := range jobs[j].Paths {
+			// Zipf-ish skew: square the uniform draw to favour the
+			// front of the dataset.
+			u := r.Float64()
+			idx := int(u * u * float64(len(dataset)))
+			if idx >= len(dataset) {
+				idx = len(dataset) - 1
+			}
+			jobs[j].Paths[k] = dataset[idx]
+		}
+	}
+	return jobs
+}
+
+// Stats aggregates a run's results.
+type Stats struct {
+	Jobs      int
+	MetaOps   int64
+	Opens     int64
+	Creates   int64
+	BytesRead int64
+	Errors    int64
+	Elapsed   time.Duration
+	MetaLat   metrics.Snapshot
+	OpenLat   metrics.Snapshot
+}
+
+// TxPerSec is the cluster-wide metadata transaction rate the paper's
+// motivation cites ("sustain thousands of transactions per second").
+func (s Stats) TxPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.MetaOps+s.Opens+s.Creates) / s.Elapsed.Seconds()
+}
+
+// Runner drives jobs against a cluster with a fixed concurrency,
+// mimicking a batch farm.
+type Runner struct {
+	// NewClient supplies one client per concurrent worker.
+	NewClient func() *client.Client
+	// Concurrency is the number of simultaneous jobs. Default 8.
+	Concurrency int
+	// Cfg shapes each job's behaviour.
+	Cfg JobConfig
+}
+
+// Run executes all jobs and aggregates statistics.
+func (rn Runner) Run(jobs []Job) Stats {
+	conc := rn.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	var (
+		metaLat, openLat metrics.Histogram
+		stats            Stats
+		mu               sync.Mutex
+		wg               sync.WaitGroup
+	)
+	work := make(chan Job)
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := rn.NewClient()
+			defer cl.Close()
+			var meta, opens, creates, bytesRead, errs int64
+			for job := range work {
+				// Bulk output creation (optionally prepared first).
+				if rn.Cfg.CreatesPerJob > 0 {
+					outs := make([]string, rn.Cfg.CreatesPerJob)
+					for k := range outs {
+						outs[k] = fmt.Sprintf("/out/job%05d/part%03d", job.ID, k)
+					}
+					if rn.Cfg.PrepareCreates {
+						if err := cl.Prepare(outs, true); err != nil {
+							errs++
+						}
+					}
+					for _, o := range outs {
+						if err := cl.WriteFile(o, []byte("output")); err != nil {
+							errs++
+						}
+						creates++
+					}
+				}
+				for _, p := range job.Paths {
+					// The framework's metadata phase.
+					for op := 0; op < rn.Cfg.MetaOpsPerFile; op++ {
+						t0 := time.Now()
+						var err error
+						if op%2 == 0 {
+							_, err = cl.Stat(p)
+						} else {
+							_, err = cl.Locate(p, false)
+						}
+						metaLat.Observe(time.Since(t0))
+						meta++
+						if err != nil {
+							errs++
+						}
+					}
+					// The data phase.
+					if rn.Cfg.ReadBytes > 0 {
+						t0 := time.Now()
+						f, err := cl.Open(p)
+						openLat.Observe(time.Since(t0))
+						opens++
+						if err != nil {
+							errs++
+							continue
+						}
+						buf := make([]byte, rn.Cfg.ReadBytes)
+						n, rerr := f.ReadAt(buf, 0)
+						if rerr != nil && rerr != io.EOF {
+							errs++
+						}
+						bytesRead += int64(n)
+						f.Close()
+					}
+				}
+			}
+			mu.Lock()
+			stats.MetaOps += meta
+			stats.Opens += opens
+			stats.Creates += creates
+			stats.BytesRead += bytesRead
+			stats.Errors += errs
+			mu.Unlock()
+		}()
+	}
+	for _, j := range jobs {
+		work <- j
+	}
+	close(work)
+	wg.Wait()
+	stats.Jobs = len(jobs)
+	stats.Elapsed = time.Since(start)
+	stats.MetaLat = metaLat.Snapshot()
+	stats.OpenLat = openLat.Snapshot()
+	return stats
+}

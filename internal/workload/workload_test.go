@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"scalla"
+	"scalla/internal/client"
+)
+
+// clusterPlacer adapts a scalla.Cluster to the Placer interface.
+type clusterPlacer struct{ c *scalla.Cluster }
+
+func (p clusterPlacer) Servers() int { return len(p.c.Servers) }
+func (p clusterPlacer) Place(i int, path string, data []byte) error {
+	return p.c.Store(i).Put(path, data)
+}
+
+func testCluster(t *testing.T) *scalla.Cluster {
+	t.Helper()
+	c, err := scalla.StartCluster(scalla.Options{
+		Servers:    4,
+		FullDelay:  150 * time.Millisecond,
+		FastPeriod: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestPlaceDataset(t *testing.T) {
+	c := testCluster(t)
+	paths, err := PlaceDataset(clusterPlacer{c}, DatasetConfig{
+		Files: 40, Replicas: 2, SizeBytes: 128, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 40 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	// Each file must exist on exactly 2 servers.
+	for _, p := range paths {
+		n := 0
+		for i := 0; i < 4; i++ {
+			if c.Store(i).Has(p) {
+				n++
+			}
+		}
+		if n != 2 {
+			t.Fatalf("%s on %d servers, want 2", p, n)
+		}
+	}
+}
+
+func TestPlaceDatasetClampsReplicas(t *testing.T) {
+	c := testCluster(t)
+	paths, err := PlaceDataset(clusterPlacer{c}, DatasetConfig{
+		Files: 3, Replicas: 99, SizeBytes: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		n := 0
+		for i := 0; i < 4; i++ {
+			if c.Store(i).Has(p) {
+				n++
+			}
+		}
+		if n != 4 {
+			t.Fatalf("%s on %d servers, want all 4", p, n)
+		}
+	}
+}
+
+func TestGenerateJobsShape(t *testing.T) {
+	dataset := make([]string, 100)
+	for i := range dataset {
+		dataset[i] = "/f" + string(rune('a'+i%26))
+	}
+	jobs := GenerateJobs(dataset, 10, JobConfig{FilesPerJob: 24}, 3)
+	if len(jobs) != 10 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for _, j := range jobs {
+		if len(j.Paths) != 24 {
+			t.Fatalf("job %d touches %d files", j.ID, len(j.Paths))
+		}
+	}
+	// Determinism.
+	again := GenerateJobs(dataset, 10, JobConfig{FilesPerJob: 24}, 3)
+	for i := range jobs {
+		for k := range jobs[i].Paths {
+			if jobs[i].Paths[k] != again[i].Paths[k] {
+				t.Fatal("job generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestRunnerBulkCreates(t *testing.T) {
+	c := testCluster(t)
+	paths, err := PlaceDataset(clusterPlacer{c}, DatasetConfig{
+		Files: 8, Replicas: 1, SizeBytes: 64, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := JobConfig{FilesPerJob: 2, MetaOpsPerFile: 1, CreatesPerJob: 3, PrepareCreates: true}
+	jobs := GenerateJobs(paths, 4, cfg, 9)
+	rn := Runner{
+		NewClient:   func() *client.Client { return c.NewClient() },
+		Concurrency: 2,
+		Cfg:         cfg,
+	}
+	st := rn.Run(jobs)
+	if st.Creates != 12 {
+		t.Errorf("Creates = %d, want 12", st.Creates)
+	}
+	if st.Errors != 0 {
+		t.Errorf("Errors = %d", st.Errors)
+	}
+	// The outputs really exist cluster-wide.
+	cl := c.NewClient()
+	defer cl.Close()
+	if _, err := cl.Stat("/out/job00000/part000"); err != nil {
+		t.Errorf("created output missing: %v", err)
+	}
+}
+
+func TestRunnerEndToEnd(t *testing.T) {
+	c := testCluster(t)
+	paths, err := PlaceDataset(clusterPlacer{c}, DatasetConfig{
+		Files: 30, Replicas: 2, SizeBytes: 4096, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := GenerateJobs(paths, 12, JobConfig{FilesPerJob: 6, MetaOpsPerFile: 3, ReadBytes: 1024}, 5)
+	rn := Runner{
+		NewClient:   func() *client.Client { return c.NewClient() },
+		Concurrency: 4,
+		Cfg:         JobConfig{FilesPerJob: 6, MetaOpsPerFile: 3, ReadBytes: 1024},
+	}
+	st := rn.Run(jobs)
+	if st.Jobs != 12 {
+		t.Errorf("Jobs = %d", st.Jobs)
+	}
+	wantMeta := int64(12 * 6 * 3)
+	if st.MetaOps != wantMeta {
+		t.Errorf("MetaOps = %d, want %d", st.MetaOps, wantMeta)
+	}
+	if st.Opens != 12*6 {
+		t.Errorf("Opens = %d, want 72", st.Opens)
+	}
+	if st.BytesRead != 12*6*1024 {
+		t.Errorf("BytesRead = %d", st.BytesRead)
+	}
+	if st.Errors != 0 {
+		t.Errorf("Errors = %d", st.Errors)
+	}
+	if st.TxPerSec() <= 0 {
+		t.Error("TxPerSec = 0")
+	}
+	if st.MetaLat.Count != wantMeta {
+		t.Errorf("MetaLat.Count = %d", st.MetaLat.Count)
+	}
+}

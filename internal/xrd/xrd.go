@@ -1,0 +1,324 @@
+// Package xrd implements the data server — Scalla's xrootd daemon.
+//
+// A data server owns a Store and serves the file-access plane:
+// open/read/write/close/stat/unlink/prepare. Files that live only in
+// the simulated Mass Storage System are staged on demand; clients asking
+// for a staging file are told to wait and retry (the Vp path of the
+// paper). The server tracks a load figure (open handles plus in-flight
+// requests) that the cluster layer reports upward for server selection.
+package xrd
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"scalla/internal/proto"
+	"scalla/internal/store"
+	"scalla/internal/transport"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store backs the server. Required.
+	Store *store.Store
+	// ReadOnly refuses writes, creates, and unlinks.
+	ReadOnly bool
+	// StageWaitMillis is the retry hint sent with Wait responses while a
+	// file stages. Default 300.
+	StageWaitMillis uint32
+	// Logf, if set, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+// Server is a data server. Create one with New, then Serve a listener.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	handles map[uint64]*handle
+	nextFH  uint64
+
+	inflight atomic.Int64
+	closed   atomic.Bool
+}
+
+type handle struct {
+	path  string
+	write bool
+}
+
+// New returns a Server over the given configuration.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("xrd: Config.Store is required")
+	}
+	if cfg.StageWaitMillis == 0 {
+		cfg.StageWaitMillis = 300
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{cfg: cfg, handles: make(map[uint64]*handle)}
+}
+
+// Store returns the backing store.
+func (s *Server) Store() *store.Store { return s.cfg.Store }
+
+// Load returns the current load figure used for server selection.
+func (s *Server) Load() uint32 {
+	s.mu.Lock()
+	h := len(s.handles)
+	s.mu.Unlock()
+	return uint32(h) + uint32(s.inflight.Load())
+}
+
+// Serve accepts and handles connections until the listener fails
+// (typically because it was closed). It blocks; run it in a goroutine.
+func (s *Server) Serve(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.handleConn(conn)
+	}
+}
+
+// Close marks the server closed; existing connections drain naturally.
+func (s *Server) Close() { s.closed.Store(true) }
+
+func (s *Server) handleConn(conn transport.Conn) {
+	defer conn.Close()
+	// Handles are per-connection in spirit; track the ones opened here
+	// so a dropped client leaks nothing.
+	var mine []uint64
+	defer func() {
+		s.mu.Lock()
+		for _, fh := range mine {
+			delete(s.handles, fh)
+		}
+		s.mu.Unlock()
+	}()
+	for {
+		frame, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		if s.closed.Load() {
+			return
+		}
+		msg, err := proto.Unmarshal(frame)
+		if err != nil {
+			s.cfg.Logf("xrd: bad frame from %s: %v", conn.RemoteAddr(), err)
+			return
+		}
+		s.inflight.Add(1)
+		reply, opened := s.dispatch(msg)
+		s.inflight.Add(-1)
+		if opened != 0 {
+			mine = append(mine, opened)
+		}
+		if reply == nil {
+			continue
+		}
+		if err := conn.Send(proto.Marshal(reply)); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch handles one request, returning the reply and, for successful
+// opens, the issued handle.
+func (s *Server) dispatch(msg proto.Message) (reply proto.Message, opened uint64) {
+	switch m := msg.(type) {
+	case proto.Open:
+		return s.open(m)
+	case proto.Read:
+		return s.read(m), 0
+	case proto.Write:
+		return s.write(m), 0
+	case proto.Trunc:
+		return s.trunc(m), 0
+	case proto.Close:
+		return s.close(m), 0
+	case proto.Stat:
+		return s.stat(m), 0
+	case proto.Unlink:
+		return s.unlink(m), 0
+	case proto.Prepare:
+		return s.prepare(m), 0
+	case proto.List:
+		return s.list(m), 0
+	case proto.Ping:
+		return proto.Pong{Load: s.Load(), Free: s.cfg.Store.Free()}, 0
+	default:
+		return proto.Err{Code: proto.EInval, Msg: "unexpected message"}, 0
+	}
+}
+
+func (s *Server) open(m proto.Open) (proto.Message, uint64) {
+	st := s.cfg.Store
+	if m.Create {
+		if s.cfg.ReadOnly {
+			return proto.Err{Code: proto.EIO, Msg: "read-only server"}, 0
+		}
+		if err := st.Create(m.Path); err == store.ErrExists {
+			return proto.Err{Code: proto.EExist, Msg: "file exists"}, 0
+		} else if err != nil {
+			return proto.Err{Code: proto.EIO, Msg: err.Error()}, 0
+		}
+		return s.issue(m.Path, true, 0), 0
+	}
+	if m.Write && s.cfg.ReadOnly {
+		return proto.Err{Code: proto.EIO, Msg: "read-only server"}, 0
+	}
+	info, err := st.Stat(m.Path)
+	if err != nil {
+		return proto.Err{Code: proto.ENoEnt, Msg: "no such file"}, 0
+	}
+	if !info.Online {
+		// Kick staging and tell the client to come back.
+		if _, err := st.Stage(m.Path); err != nil {
+			return proto.Err{Code: proto.EIO, Msg: err.Error()}, 0
+		}
+		return proto.Wait{Millis: s.cfg.StageWaitMillis}, 0
+	}
+	msg, fh := s.issueMsg(m.Path, m.Write, info.Size)
+	return msg, fh
+}
+
+func (s *Server) issue(path string, write bool, size int64) proto.Message {
+	msg, _ := s.issueMsg(path, write, size)
+	return msg
+}
+
+func (s *Server) issueMsg(path string, write bool, size int64) (proto.Message, uint64) {
+	s.mu.Lock()
+	s.nextFH++
+	fh := s.nextFH
+	s.handles[fh] = &handle{path: path, write: write}
+	s.mu.Unlock()
+	return proto.OpenOK{FH: fh, Size: size}, fh
+}
+
+func (s *Server) lookup(fh uint64) (*handle, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.handles[fh]
+	return h, ok
+}
+
+func (s *Server) read(m proto.Read) proto.Message {
+	h, ok := s.lookup(m.FH)
+	if !ok {
+		return proto.Err{Code: proto.EInval, Msg: "bad file handle"}
+	}
+	if m.N > transport.MaxFrame/2 {
+		m.N = transport.MaxFrame / 2
+	}
+	data, eof, err := s.cfg.Store.ReadAt(h.path, m.Off, int(m.N))
+	switch err {
+	case nil:
+		return proto.Data{FH: m.FH, Bytes: data, EOF: eof}
+	case store.ErrStaging:
+		return proto.Wait{Millis: s.cfg.StageWaitMillis}
+	case store.ErrNotFound:
+		// The file vanished under the handle (deleted elsewhere). The
+		// client recovers with a cache refresh (Section III-C1).
+		return proto.Err{Code: proto.ENoEnt, Msg: "file removed"}
+	default:
+		return proto.Err{Code: proto.EIO, Msg: err.Error()}
+	}
+}
+
+func (s *Server) write(m proto.Write) proto.Message {
+	h, ok := s.lookup(m.FH)
+	if !ok {
+		return proto.Err{Code: proto.EInval, Msg: "bad file handle"}
+	}
+	if !h.write {
+		return proto.Err{Code: proto.EInval, Msg: "handle is read-only"}
+	}
+	n, err := s.cfg.Store.WriteAt(h.path, m.Off, m.Bytes)
+	if err != nil {
+		return proto.Err{Code: proto.EIO, Msg: err.Error()}
+	}
+	return proto.WriteOK{FH: m.FH, N: uint32(n)}
+}
+
+func (s *Server) trunc(m proto.Trunc) proto.Message {
+	h, ok := s.lookup(m.FH)
+	if !ok {
+		return proto.Err{Code: proto.EInval, Msg: "bad file handle"}
+	}
+	if !h.write {
+		return proto.Err{Code: proto.EInval, Msg: "handle is read-only"}
+	}
+	if err := s.cfg.Store.Truncate(h.path, m.Size); err != nil {
+		return proto.Err{Code: proto.EIO, Msg: err.Error()}
+	}
+	return proto.TruncOK{FH: m.FH}
+}
+
+func (s *Server) close(m proto.Close) proto.Message {
+	s.mu.Lock()
+	_, ok := s.handles[m.FH]
+	delete(s.handles, m.FH)
+	s.mu.Unlock()
+	if !ok {
+		return proto.Err{Code: proto.EInval, Msg: "bad file handle"}
+	}
+	return proto.CloseOK{FH: m.FH}
+}
+
+func (s *Server) stat(m proto.Stat) proto.Message {
+	info, err := s.cfg.Store.Stat(m.Path)
+	if err != nil {
+		return proto.StatOK{Exists: false}
+	}
+	return proto.StatOK{Exists: true, Size: info.Size, Online: info.Online}
+}
+
+func (s *Server) unlink(m proto.Unlink) proto.Message {
+	if s.cfg.ReadOnly {
+		return proto.Err{Code: proto.EIO, Msg: "read-only server"}
+	}
+	if err := s.cfg.Store.Unlink(m.Path); err != nil {
+		return proto.Err{Code: proto.ENoEnt, Msg: "no such file"}
+	}
+	return proto.UnlinkOK{}
+}
+
+// prepare kicks staging for every named file that is offline here. The
+// reply is immediate; staging proceeds in the background (Section
+// III-B2).
+func (s *Server) prepare(m proto.Prepare) proto.Message {
+	queued := uint32(0)
+	for _, p := range m.Paths {
+		if s.cfg.Store.Has(p) && !s.cfg.Store.HasOnline(p) {
+			if _, err := s.cfg.Store.Stage(p); err == nil {
+				queued++
+			}
+		}
+	}
+	return proto.PrepareOK{Queued: queued}
+}
+
+// list reports this server's files under a prefix, feeding the Cluster
+// Name Space daemon.
+func (s *Server) list(m proto.List) proto.Message {
+	infos := s.cfg.Store.List(m.Prefix)
+	entries := make([]proto.Entry, len(infos))
+	for i, in := range infos {
+		entries[i] = proto.Entry{Path: in.Path, Size: in.Size, Online: in.Online}
+	}
+	return proto.ListOK{Entries: entries}
+}
+
+// Handles returns the number of open file handles (for tests and load
+// inspection).
+func (s *Server) Handles() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.handles)
+}

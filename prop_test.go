@@ -1,0 +1,153 @@
+package scalla
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestSupervisorFailureAndRecovery: a supervisor dies, stranding its
+// subtree; the cluster keeps serving replicas elsewhere, and when the
+// supervisor returns the subtree heals without any intervention —
+// Section VI's recoverability claim at the interior of the tree.
+func TestSupervisorFailureAndRecovery(t *testing.T) {
+	c, err := StartCluster(quickOptions(8, 4)) // 2 supervisors x 4 servers
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	if len(c.Supervisors) != 2 {
+		t.Fatalf("supervisors = %d", len(c.Supervisors))
+	}
+
+	// One replica in each subtree. Server i sits under supervisor
+	// parents[i%2] (round-robin assignment), so even/odd split.
+	c.Store(0).Put("/ha/f", []byte("dual homed"))
+	c.Store(1).Put("/ha/f", []byte("dual homed"))
+
+	cl := c.NewClient()
+	defer cl.Close()
+	if _, err := cl.ReadFile("/ha/f"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill supervisor of server 0's subtree (server 0 attaches to
+	// Supervisors[0] by construction).
+	c.Supervisors[0].Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Manager.Core().Table().OnlineVec().Count() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never noticed the supervisor loss")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The file still resolves through the surviving subtree. The cached
+	// location may point at the dead supervisor first; the client's
+	// refresh recovery must sort it out.
+	got, err := readWithRetry(cl, "/ha/f", 10*time.Second)
+	if err != nil || string(got) != "dual homed" {
+		t.Fatalf("read during supervisor outage = %q, %v", got, err)
+	}
+}
+
+func readWithRetry(cl *Client, path string, budget time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		data, err := cl.ReadFile(path)
+		if err == nil {
+			return data, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestPropClusterMatchesOracle drives a cluster through random
+// placements, reads, writes, and deletions, and checks every observable
+// against a plain map oracle. This is the end-to-end consistency
+// property: whatever the cache believes, clients always end up reading
+// the bytes the oracle says exist (or a definitive not-exist).
+func TestPropClusterMatchesOracle(t *testing.T) {
+	c, err := StartCluster(quickOptions(4, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	cl := c.NewClient()
+	defer cl.Close()
+
+	oracle := map[string][]byte{}
+	nameOf := func(i int) string { return fmt.Sprintf("/prop/f%02d", i%12) }
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for op := 0; op < 30; op++ {
+			name := nameOf(r.Intn(1 << 20))
+			switch r.Intn(4) {
+			case 0: // write through the client
+				payload := make([]byte, 1+r.Intn(2048))
+				r.Read(payload)
+				if err := cl.WriteFile(name, payload); err != nil {
+					t.Logf("WriteFile(%s): %v", name, err)
+					return false
+				}
+				oracle[name] = payload
+			case 1: // delete through the client
+				err := cl.Unlink(name)
+				_, exists := oracle[name]
+				if exists && err != nil {
+					t.Logf("Unlink(%s) of existing: %v", name, err)
+					return false
+				}
+				if !exists && err == nil {
+					// The cluster had it but the oracle didn't — only
+					// possible if a previous iteration leaked state.
+					t.Logf("Unlink(%s) succeeded for untracked file", name)
+					return false
+				}
+				delete(oracle, name)
+			case 2: // read through the client
+				data, err := cl.ReadFile(name)
+				want, exists := oracle[name]
+				if !exists {
+					if !errors.Is(err, ErrNotExist) {
+						t.Logf("ReadFile(%s) of missing: %v", name, err)
+						return false
+					}
+					continue
+				}
+				if err != nil && err != io.EOF {
+					t.Logf("ReadFile(%s): %v", name, err)
+					return false
+				}
+				if !bytes.Equal(data, want) {
+					t.Logf("ReadFile(%s): %d bytes, want %d", name, len(data), len(want))
+					return false
+				}
+			case 3: // stat
+				st, err := cl.Stat(name)
+				want, exists := oracle[name]
+				if exists && (err != nil || st.Size != int64(len(want))) {
+					t.Logf("Stat(%s) = %+v, %v; want size %d", name, st, err, len(want))
+					return false
+				}
+				if !exists && !errors.Is(err, ErrNotExist) {
+					t.Logf("Stat(%s) of missing: %v", name, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}

