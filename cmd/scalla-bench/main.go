@@ -6,6 +6,7 @@
 //	scalla-bench -quick          # smaller sizes, a few seconds each
 //	scalla-bench -run E4,E7      # selected experiments
 //	scalla-bench -list           # list experiment ids and claims
+//	scalla-bench -json -quick    # micro-bench suite -> BENCH_<date>.json
 //
 // The per-experiment mapping to the paper's sections lives in DESIGN.md;
 // measured-vs-paper results are recorded in EXPERIMENTS.md.
@@ -28,10 +29,20 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	fig2 := flag.Bool("figure2", false, "render the paper's Figure 2 (hash table + eviction windows) from a live cache")
+	jsonOut := flag.Bool("json", false, "run the micro-benchmark suite and write BENCH_<date>.json")
 	flag.Parse()
 
 	if *fig2 {
 		renderFigure2()
+		return
+	}
+	if *jsonOut {
+		name, err := runJSONBench(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scalla-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", name)
 		return
 	}
 

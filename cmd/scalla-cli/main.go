@@ -8,6 +8,8 @@
 //	scalla-cli -mgr host:1094 prepare /store/a /store/b
 //	scalla-cli -servers s1:3094,s2:3094 ls /store
 //	scalla-cli -servers s1:3094,s2:3094 tree /
+//	scalla-cli mon :9931          # tail daemons' summary streams (UDP)
+//	scalla-cli -raw mon :9931     # same, raw JSON frames
 package main
 
 import (
@@ -24,13 +26,14 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scalla-cli [-mgr addr[,addr]] [-servers addrs] <locate|cat|put|stat|rm|prepare|status|ls|tree> args...")
+	fmt.Fprintln(os.Stderr, "usage: scalla-cli [-mgr addr[,addr]] [-servers addrs] <locate|cat|put|stat|rm|prepare|status|ls|tree|mon> args...")
 	os.Exit(2)
 }
 
 func main() {
 	mgr := flag.String("mgr", "localhost:1094", "manager data address(es), comma separated")
 	servers := flag.String("servers", "", "server data addresses for ls/tree (namespace ops)")
+	raw := flag.Bool("raw", false, "mon: print raw JSON frames instead of one-liners")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -39,6 +42,12 @@ func main() {
 	net := transport.TCP()
 
 	switch args[0] {
+	case "mon":
+		need(args, 2)
+		if err := mon(args[1], *raw, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	case "ls", "tree":
 		if *servers == "" {
 			log.Fatal("scalla-cli: ls/tree need -servers (the namespace is served by the NSD, not the manager)")

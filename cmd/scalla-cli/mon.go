@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"scalla/internal/obs"
+)
+
+// mon tails the summary-monitoring streams of one or more daemons: it
+// binds a UDP socket on listenAddr (each daemon's -summary udp: target)
+// and prints every frame that arrives — one compact line per frame, or
+// the raw JSON with -raw. It runs until the process is interrupted.
+func mon(listenAddr string, raw bool, w io.Writer) error {
+	pc, err := net.ListenPacket("udp", listenAddr)
+	if err != nil {
+		return fmt.Errorf("mon: %w", err)
+	}
+	defer pc.Close()
+	fmt.Fprintf(w, "mon: listening on %s (point daemons at -summary udp:<this host>:<port>)\n", pc.LocalAddr())
+	buf := make([]byte, 64<<10)
+	for {
+		n, from, err := pc.ReadFrom(buf)
+		if err != nil {
+			return fmt.Errorf("mon: %w", err)
+		}
+		if raw {
+			fmt.Fprintf(w, "%s\n", buf[:n])
+			continue
+		}
+		f, err := obs.ParseFrame(buf[:n])
+		if err != nil {
+			fmt.Fprintf(w, "mon: %s sent an unreadable frame: %v\n", from, err)
+			continue
+		}
+		fmt.Fprintln(w, f.String())
+	}
+}

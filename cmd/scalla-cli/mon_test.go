@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"scalla/internal/obs"
+)
+
+// TestMonPrintsFrames runs mon against an ephemeral UDP port, streams it
+// a summary frame the way a daemon would, and checks the printed line.
+func TestMonPrintsFrames(t *testing.T) {
+	pr, pw := io.Pipe()
+	go mon("127.0.0.1:0", false, pw) // exits (with an error) when the test process does
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(pr)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+
+	// mon announces its bound address first; that is how we find it.
+	var addr string
+	select {
+	case banner := <-lines:
+		_, rest, ok := strings.Cut(banner, "listening on ")
+		if !ok {
+			t.Fatalf("unexpected banner %q", banner)
+		}
+		addr, _, _ = strings.Cut(rest, " ")
+	case <-time.After(5 * time.Second):
+		t.Fatal("mon never announced its address")
+	}
+
+	sink, err := obs.NewUDPSink(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	frame := obs.Frame{
+		V: obs.FrameVersion, Node: "mgr", Role: "manager", Seq: 7,
+		Cache:   &obs.CacheSummary{Entries: 2, Buckets: 89, Hits: 1},
+		Cluster: &obs.ClusterSummary{Members: 3, Online: 3},
+	}
+
+	// UDP is lossy even on loopback; resend until mon prints the line.
+	deadline := time.After(5 * time.Second)
+	for {
+		if err := sink.Emit(frame.Encode()); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case line := <-lines:
+			if !strings.Contains(line, "mgr/manager #7") || !strings.Contains(line, "cache=2/89") {
+				t.Fatalf("mon printed %q", line)
+			}
+			// A garbage datagram must be reported, not kill the loop.
+			if err := sink.Emit([]byte("not a frame")); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case bad := <-lines:
+				if !strings.Contains(bad, "unreadable frame") {
+					t.Fatalf("garbage datagram printed %q", bad)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("mon never reported the garbage datagram")
+			}
+			return
+		case <-deadline:
+			t.Fatal("mon never printed the frame")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	stdnet "net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -20,6 +22,7 @@ import (
 
 	"scalla/internal/cache"
 	"scalla/internal/cmsd"
+	"scalla/internal/obs"
 	"scalla/internal/proto"
 	"scalla/internal/respq"
 	"scalla/internal/store"
@@ -33,10 +36,13 @@ func main() {
 	basePort := flag.Int("base-port", 10000, "first server data port")
 	fullDelay := flag.Duration("full-delay", time.Second, "full delay")
 	stageDelay := flag.Duration("stage-delay", 2*time.Second, "simulated staging delay")
+	admin := flag.String("admin", "", "manager admin/status HTTP address (/statusz /metricsz /tracez)")
+	summary := flag.String("summary", "", "manager summary-stream UDP target (host:port)")
+	summaryEvery := flag.Duration("summary-every", 5*time.Second, "summary frame period")
 	flag.Parse()
 
-	net := transport.TCP()
-	mgr, err := cmsd.NewNode(cmsd.NodeConfig{
+	net := transport.Counting(transport.TCP())
+	mgrCfg := cmsd.NodeConfig{
 		Name: "mgr", Role: proto.RoleManager,
 		DataAddr: *mgrData, CtlAddr: *mgrCtl, Net: net,
 		Core: cmsd.Config{
@@ -44,7 +50,17 @@ func main() {
 			Queue:     respq.Config{},
 			FullDelay: *fullDelay,
 		},
-	})
+		Tracer: obs.NewTracer(0, nil),
+	}
+	if *summary != "" {
+		sink, err := obs.NewUDPSink(*summary)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mgrCfg.Summary = sink
+		mgrCfg.SummaryEvery = *summaryEvery
+	}
+	mgr, err := cmsd.NewNode(mgrCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,6 +96,16 @@ func main() {
 			log.Fatal("scalla-local: cluster never formed")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+
+	if *admin != "" {
+		l, err := stdnet.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("scalla-local: admin listen: %v", err)
+		}
+		defer l.Close()
+		go http.Serve(l, mgr.AdminHandler())
+		fmt.Printf("scalla-local: admin endpoint on http://%s/statusz\n", l.Addr())
 	}
 
 	fmt.Printf("scalla-local: cluster up\n")

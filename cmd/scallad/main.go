@@ -15,12 +15,22 @@
 //
 //	scallad -role server -name srv1 -data :3094 \
 //	        -parents mgrhost:1213 -exports /store -preload ./data
+//
+// Observability: -admin serves /statusz, /metricsz, and /tracez over
+// HTTP; -summary streams one JSON summary frame per -summary-every to a
+// UDP/TCP collector (tail it with `scalla-cli mon`); -trace N enables
+// request tracing into a ring of N spans:
+//
+//	scallad -role manager -name mgr -data :1094 -ctl :1213 \
+//	        -admin :8081 -summary udp:mon-host:9931 -trace 512
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -29,6 +39,7 @@ import (
 	"time"
 
 	"scalla/internal/cmsd"
+	"scalla/internal/obs"
 	"scalla/internal/proto"
 	"scalla/internal/store"
 	"scalla/internal/transport"
@@ -47,6 +58,10 @@ func main() {
 	fastPeriod := flag.Duration("fast-period", 133*time.Millisecond, "fast response window")
 	lifetime := flag.Duration("lifetime", 8*time.Hour, "location object lifetime Lt")
 	stageDelay := flag.Duration("stage-delay", 2*time.Second, "simulated MSS staging delay")
+	admin := flag.String("admin", "", "admin/status HTTP address serving /statusz /metricsz /tracez")
+	summary := flag.String("summary", "", "summary-stream target: udp:host:port, tcp:host:port, or - for stdout")
+	summaryEvery := flag.Duration("summary-every", 10*time.Second, "summary frame period")
+	traceCap := flag.Int("trace", 0, "enable request tracing with a ring of this many spans")
 	verbose := flag.Bool("v", false, "log diagnostics")
 	flag.Parse()
 
@@ -69,8 +84,22 @@ func main() {
 		Name: *name, Role: r,
 		DataAddr: *data, CtlAddr: *ctl,
 		Prefixes: splitList(*exports),
-		Net:      transport.TCP(),
+		// Counted so the summary stream carries the node's frame/byte
+		// totals (the transport section of each frame).
+		Net:      transport.Counting(transport.TCP()),
 		ReadOnly: *readOnly,
+	}
+	if *traceCap > 0 {
+		cfg.Tracer = obs.NewTracer(*traceCap, nil)
+		cfg.Tracer.SetEnabled(true)
+	}
+	if *summary != "" {
+		sink, err := summarySink(*summary)
+		if err != nil {
+			log.Fatalf("scallad: %v", err)
+		}
+		cfg.Summary = sink
+		cfg.SummaryEvery = *summaryEvery
 	}
 	if *parents != "" {
 		cfg.Parents = splitList(*parents)
@@ -102,6 +131,15 @@ func main() {
 	if err := node.Start(); err != nil {
 		log.Fatal(err)
 	}
+	if *admin != "" {
+		l, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("scallad: admin listen: %v", err)
+		}
+		defer l.Close()
+		go http.Serve(l, node.AdminHandler())
+		log.Printf("scallad: admin endpoint on http://%s/statusz", l.Addr())
+	}
 	log.Printf("scallad: %s %q up (data %s ctl %s, exports %s)",
 		*role, *name, *data, *ctl, *exports)
 
@@ -110,6 +148,20 @@ func main() {
 	<-sig
 	log.Print("scallad: shutting down")
 	node.Stop()
+}
+
+// summarySink builds the sink a -summary target names.
+func summarySink(target string) (obs.Sink, error) {
+	switch {
+	case target == "-":
+		return obs.NewWriterSink(os.Stdout), nil
+	case strings.HasPrefix(target, "udp:"):
+		return obs.NewUDPSink(strings.TrimPrefix(target, "udp:"))
+	case strings.HasPrefix(target, "tcp:"):
+		return obs.NewTCPSink(strings.TrimPrefix(target, "tcp:")), nil
+	default:
+		return nil, fmt.Errorf("bad -summary target %q (want udp:host:port, tcp:host:port, or -)", target)
+	}
 }
 
 func splitList(s string) []string {

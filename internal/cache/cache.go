@@ -66,6 +66,12 @@ type Config struct {
 	// Tick instead of in a background goroutine. Used by tests and
 	// benchmarks that need determinism.
 	SyncSweep bool
+	// OnTick, if set, is invoked (without the cache lock held) after
+	// every window tick with the new tick count and how many objects
+	// that tick hid. Ticks are rare (Lifetime/64 apart), so the hook
+	// adds nothing to the lookup path; the observability layer uses it
+	// to stream window-tick eviction figures.
+	OnTick func(tick uint64, hidden int64)
 	// Clock supplies time. Default vclock.Real().
 	Clock vclock.Clock
 }
@@ -213,6 +219,14 @@ func (c *Cache) Epoch() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.nc
+}
+
+// ConnStamps returns a copy of the per-subordinate connect stamps C[]
+// (the Nc value at which each slot last connected) for status reporting.
+func (c *Cache) ConnStamps() [64]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
 }
 
 // ---------------------------------------------------------------------

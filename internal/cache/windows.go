@@ -36,14 +36,19 @@ func (c *Cache) Tick() {
 	cutoff := c.tw // objects with ta + Windows <= tw have aged >= Lt
 	// Hide expired entries now — after this pass none of them can be
 	// found, so the background sweep races with nothing.
+	var hidden int64
 	for l := head; l != nil; l = l.wnext {
 		if l.ta+Windows <= cutoff && l.keyLen > 0 {
 			l.keyLen = 0
-			c.stats.Hidden++
+			hidden++
 			c.count--
 		}
 	}
+	c.stats.Hidden += hidden
 	c.mu.Unlock()
+	if c.cfg.OnTick != nil {
+		c.cfg.OnTick(cutoff, hidden)
+	}
 
 	if c.cfg.SyncSweep {
 		c.sweep(head, cutoff)

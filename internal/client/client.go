@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"scalla/internal/obs"
 	"scalla/internal/proto"
 	"scalla/internal/transport"
 	"scalla/internal/vclock"
@@ -39,6 +40,9 @@ type Config struct {
 	WaitBudget time.Duration
 	// Clock supplies time. Default vclock.Real().
 	Clock vclock.Clock
+	// Tracer records one span per walk (redirect chain) with the hops
+	// and waits as events. Default: a disabled tracer.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(0, c.Clock)
 	}
 	return c
 }
@@ -162,9 +169,11 @@ func (cl *Client) walkFrom(addr string, m proto.Message) (proto.Message, string,
 	_, isLocate := m.(proto.Locate)
 	waited := time.Duration(0)
 	hops := 0
+	sp := cl.cfg.Tracer.Start("walk", walkPath(m))
 	for {
 		reply, err := cl.rpc(addr, m)
 		if err != nil {
+			sp.End("error " + addr)
 			return nil, addr, err
 		}
 		switch r := reply.(type) {
@@ -173,12 +182,15 @@ func (cl *Client) walkFrom(addr string, m proto.Message) (proto.Message, string,
 			// redirects to another redirector (CtlAddr set) are
 			// followed for location queries.
 			if isLocate && r.CtlAddr == "" {
+				sp.End("redirect " + r.Addr)
 				return reply, addr, nil
 			}
 			hops++
 			if hops > cl.cfg.MaxHops {
+				sp.End("too many hops")
 				return nil, addr, fmt.Errorf("%w: redirect chain exceeded %d hops", ErrIO, cl.cfg.MaxHops)
 			}
+			sp.Event("hop", r.Addr)
 			addr = r.Addr
 		case proto.Wait:
 			d := time.Duration(r.Millis) * time.Millisecond
@@ -187,12 +199,31 @@ func (cl *Client) walkFrom(addr string, m proto.Message) (proto.Message, string,
 			}
 			waited += d
 			if waited > cl.cfg.WaitBudget {
+				sp.End("wait budget exhausted")
 				return nil, addr, ErrTimeout
 			}
+			sp.Event("wait", d.String())
 			cl.cfg.Clock.Sleep(d)
 		default:
+			sp.End(fmt.Sprintf("%T from %s", reply, addr))
 			return reply, addr, nil
 		}
+	}
+}
+
+// walkPath extracts the path a walk operates on, for its trace span.
+func walkPath(m proto.Message) string {
+	switch r := m.(type) {
+	case proto.Locate:
+		return r.Path
+	case proto.Open:
+		return r.Path
+	case proto.Stat:
+		return r.Path
+	case proto.Unlink:
+		return r.Path
+	default:
+		return ""
 	}
 }
 

@@ -286,6 +286,32 @@ func (t *Table) Members() []Member {
 	return out
 }
 
+// Summary are the membership headcounts the status endpoints report.
+type Summary struct {
+	Members int // registered slots
+	Online  int // currently connected
+	Offline int // disconnected but not yet dropped
+}
+
+// Summary returns the current membership headcounts in one pass.
+func (t *Table) Summary() Summary {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var s Summary
+	for i := range t.slots {
+		if !t.slots[i].used {
+			continue
+		}
+		s.Members++
+		if t.slots[i].online {
+			s.Online++
+		} else {
+			s.Offline++
+		}
+	}
+	return s
+}
+
 // Count returns the number of registered members.
 func (t *Table) Count() int {
 	t.mu.Lock()

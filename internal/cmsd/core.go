@@ -5,6 +5,7 @@
 package cmsd
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"scalla/internal/cluster"
 	"scalla/internal/metrics"
 	"scalla/internal/names"
+	"scalla/internal/obs"
 	"scalla/internal/proto"
 	"scalla/internal/respq"
 	"scalla/internal/vclock"
@@ -75,6 +77,11 @@ type Config struct {
 	FullDelay time.Duration
 	// Clock supplies time everywhere. Default vclock.Real().
 	Clock vclock.Clock
+	// Tracer records per-request resolution spans. Default: a disabled
+	// tracer with obs.DefaultSpanCapacity slots, so tracing can be
+	// switched on at runtime (via /tracez) without reconfiguring. While
+	// disabled the resolve path pays one atomic load per request.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -103,11 +110,12 @@ type QuerySender func(index int, q proto.Query) bool
 
 // Core is the resolution engine of a manager or supervisor cmsd.
 type Core struct {
-	cfg   Config
-	cache *cache.Cache
-	queue *respq.Queue
-	table *cluster.Table
-	reg   *metrics.Registry
+	cfg    Config
+	cache  *cache.Cache
+	queue  *respq.Queue
+	table  *cluster.Table
+	reg    *metrics.Registry
+	tracer *obs.Tracer
 
 	sendQuery atomic.Pointer[QuerySender]
 	qid       atomic.Uint64
@@ -120,7 +128,11 @@ type Core struct {
 // thread and eviction clock). Call Close when done.
 func NewCore(cfg Config) *Core {
 	cfg = cfg.withDefaults()
-	c := &Core{cfg: cfg, stop: make(chan struct{}), reg: metrics.NewRegistry()}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.NewTracer(0, cfg.Clock)
+	}
+	c := &Core{cfg: cfg, stop: make(chan struct{}), reg: metrics.NewRegistry(),
+		tracer: cfg.Tracer}
 
 	// Wire membership events into the cache's connect-epoch counter.
 	userNew := cfg.Cluster.OnNewServer
@@ -128,6 +140,23 @@ func NewCore(cfg Config) *Core {
 		c.cache.ServerConnected(i)
 		if userNew != nil {
 			userNew(i)
+		}
+	}
+	// Surface the rare maintenance events (window ticks, guard-window
+	// expiries) as metrics for the summary stream.
+	userTick := cfg.Cache.OnTick
+	cfg.Cache.OnTick = func(tick uint64, hidden int64) {
+		c.reg.Counter("cache.ticks").Inc()
+		c.reg.Counter("cache.tick_evictions").Add(hidden)
+		if userTick != nil {
+			userTick(tick, hidden)
+		}
+	}
+	userExp := cfg.Queue.OnExpired
+	cfg.Queue.OnExpired = func(n int) {
+		c.reg.Counter("respq.expired").Add(int64(n))
+		if userExp != nil {
+			userExp(n)
 		}
 	}
 	c.cache = cache.New(cfg.Cache)
@@ -158,8 +187,12 @@ func (c *Core) Queue() *respq.Queue { return c.queue }
 
 // Metrics exposes the resolution metrics registry: counters
 // resolve.{redirect,wait,noent,retry}, resolve.queries, resolve.haves,
-// and the resolve.latency histogram.
+// cache.{ticks,tick_evictions}, respq.expired, and the resolve.latency
+// histogram.
 func (c *Core) Metrics() *metrics.Registry { return c.reg }
+
+// Tracer exposes the event tracer (for the admin endpoint and tests).
+func (c *Core) Tracer() *obs.Tracer { return c.tracer }
 
 // SetQuerySender installs the function used to transmit queries to
 // subordinates. The node layer sets it once links exist.
@@ -178,22 +211,27 @@ func (c *Core) NextQID() uint64 { return c.qid.Add(1) }
 // immediate cached redirect, or a wait/doesn't-exist verdict).
 func (c *Core) Resolve(req Request) Outcome {
 	start := c.cfg.Clock.Now()
-	out := c.resolve(req)
+	sp := c.tracer.Start("resolve", req.Path)
+	out := c.resolve(req, sp)
 	c.reg.Histogram("resolve.latency").Observe(c.cfg.Clock.Now().Sub(start))
 	switch out.Kind {
 	case KindRedirect:
 		c.reg.Counter("resolve.redirect").Inc()
+		sp.End("redirect " + out.Addr)
 	case KindWait:
 		c.reg.Counter("resolve.wait").Inc()
+		sp.End(fmt.Sprintf("wait %dms", out.Millis))
 	case KindNoEnt:
 		c.reg.Counter("resolve.noent").Inc()
+		sp.End("noent")
 	case KindRetry:
 		c.reg.Counter("resolve.retry").Inc()
+		sp.End("retry")
 	}
 	return out
 }
 
-func (c *Core) resolve(req Request) Outcome {
+func (c *Core) resolve(req Request, sp *obs.Span) Outcome {
 	path := names.Clean(req.Path)
 	vm := c.table.VmFor(path)
 	if vm.IsEmpty() {
@@ -212,6 +250,7 @@ func (c *Core) resolve(req Request) Outcome {
 	if req.Refresh {
 		ref, view, ok = c.cache.Fetch(path, vm, offline)
 		if ok {
+			sp.Event("refresh", req.Avoid)
 			if v, rok := c.cache.Refresh(ref, vm, avoid); rok {
 				view, claimed = v, true
 			} else {
@@ -226,9 +265,12 @@ func (c *Core) resolve(req Request) Outcome {
 	} else {
 		ref, view, ok = c.cache.Fetch(path, vm, offline)
 	}
-	if !ok {
+	if ok {
+		sp.Event("cache.hit", "")
+	} else {
 		// Step 1: first access — cache the name with Vq = Vm. The
 		// creator owns the processing deadline.
+		sp.Event("cache.miss", "")
 		var created bool
 		ref, view, created = c.cache.Add(path, vm, offline)
 		claimed = created
@@ -244,11 +286,12 @@ func (c *Core) resolve(req Request) Outcome {
 	if view.Empty() {
 		// Step 2: nothing known and nothing left to ask.
 		if now.After(view.Deadline) {
-			return c.notFound(path, vm, req)
+			return c.notFound(path, vm, req, sp)
 		}
 		// A deadline is pending: some other thread is querying. Defer
 		// via the fast response queue.
-		return c.parkAndWait(ref, req.Write, avoid)
+		sp.Event("defer", "deadline pending")
+		return c.parkAndWait(ref, req.Write, avoid, sp)
 	}
 
 	// Step 4/5: Vq is non-empty. Exactly one thread issues the queries;
@@ -262,23 +305,26 @@ func (c *Core) resolve(req Request) Outcome {
 		claimed = cl
 	}
 	if !claimed {
-		return c.parkAndWait(ref, req.Write, avoid)
+		sp.Event("defer", "another thread querying")
+		return c.parkAndWait(ref, req.Write, avoid, sp)
 	}
 
 	parked, waitCh := c.park(ref, req.Write)
-	c.broadcast(ref, view.Vq, req.Write)
+	sp.Event("park", "")
+	c.broadcast(ref, view.Vq, req.Write, sp)
 	if !parked {
 		// Queue full: the client pays the full delay (Section III-B1).
+		sp.Event("respq.full", "")
 		return Outcome{Kind: KindWait, Millis: c.fullDelayMillis()}
 	}
-	return c.await(waitCh, avoid)
+	return c.await(waitCh, avoid, sp)
 }
 
 // notFound resolves the "file does not exist" verdict. For creation,
 // non-existence is the green light: pick a target by the write policy
 // and optimistically record the location (step "mitigating timeout
 // delays" — the create path).
-func (c *Core) notFound(path string, vm bitvec.Vec, req Request) Outcome {
+func (c *Core) notFound(path string, vm bitvec.Vec, req Request, sp *obs.Span) Outcome {
 	if !req.Create {
 		return Outcome{Kind: KindNoEnt}
 	}
@@ -292,6 +338,7 @@ func (c *Core) notFound(path string, vm bitvec.Vec, req Request) Outcome {
 	}
 	// Optimistically record the impending location so the next client
 	// finds it without a full delay.
+	sp.Event("create", m.DataAddr)
 	c.cache.Update(path, names.Hash(path), idx, false, true)
 	return Outcome{Kind: KindRedirect, Index: idx, Addr: m.DataAddr, CtlAddr: ctlIfRedirector(m)}
 }
@@ -367,22 +414,29 @@ func (c *Core) park(ref cache.Ref, write bool) (parked bool, ch chan respq.Resul
 }
 
 // parkAndWait parks and blocks for the outcome (deferral path).
-func (c *Core) parkAndWait(ref cache.Ref, write bool, avoid int) Outcome {
+func (c *Core) parkAndWait(ref cache.Ref, write bool, avoid int, sp *obs.Span) Outcome {
 	parked, ch := c.park(ref, write)
 	if !parked {
+		sp.Event("respq.full", "")
 		return Outcome{Kind: KindWait, Millis: c.fullDelayMillis()}
 	}
-	return c.await(ch, avoid)
+	sp.Event("park", "")
+	return c.await(ch, avoid, sp)
 }
 
 // await converts the fast-response outcome into a client answer. A
 // release naming the avoided host (possible when a stale in-flight
 // response from it lands mid-refresh) is answered with a wait instead —
 // the client must never be re-vectored at the host it just reported.
-func (c *Core) await(ch chan respq.Result, avoid int) Outcome {
+func (c *Core) await(ch chan respq.Result, avoid int, sp *obs.Span) Outcome {
 	select {
 	case r := <-ch:
-		if r.Expired || r.Server == avoid {
+		if r.Expired {
+			sp.Event("respq.expired", "")
+			return Outcome{Kind: KindWait, Millis: c.fullDelayMillis()}
+		}
+		sp.Event("respq.release", fmt.Sprintf("server %d", r.Server))
+		if r.Server == avoid {
 			return Outcome{Kind: KindWait, Millis: c.fullDelayMillis()}
 		}
 		m, ok := c.table.Member(r.Server)
@@ -398,7 +452,7 @@ func (c *Core) await(ch chan respq.Result, avoid int) Outcome {
 
 // broadcast sends a location query to every online subordinate in vq
 // and marks the successfully queried ones off the object's Vq (step 6).
-func (c *Core) broadcast(ref cache.Ref, vq bitvec.Vec, write bool) {
+func (c *Core) broadcast(ref cache.Ref, vq bitvec.Vec, write bool, sp *obs.Span) {
 	fnp := c.sendQuery.Load()
 	if fnp == nil {
 		return
@@ -417,6 +471,7 @@ func (c *Core) broadcast(ref cache.Ref, vq bitvec.Vec, write bool) {
 		c.cache.MarkQueried(ref, queried)
 		c.reg.Counter("resolve.queries").Add(int64(queried.Count()))
 	}
+	sp.Event("flood", fmt.Sprintf("queried %d of %d", queried.Count(), vq.Count()))
 }
 
 // HandleHave processes a positive response from subordinate index: it
@@ -424,10 +479,13 @@ func (c *Core) broadcast(ref cache.Ref, vq bitvec.Vec, write bool) {
 // rehash) and releases any fast-response waiters (Section III-B1).
 func (c *Core) HandleHave(index int, h proto.Have) {
 	c.reg.Counter("resolve.haves").Inc()
+	sp := c.tracer.Start("have", h.Path)
 	res, ok := c.cache.Update(h.Path, h.Hash, index, h.Pending, h.CanWrite)
 	if !ok {
+		sp.End("dropped (name not cached)")
 		return // response for an evicted or unknown name; drop
 	}
+	defer sp.End(fmt.Sprintf("server %d pending=%v", index, h.Pending))
 	if res.ReadWaiters != 0 {
 		c.queue.Release(res.ReadWaiters, index, h.Pending)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"scalla/internal/cluster"
 	"scalla/internal/names"
+	"scalla/internal/obs"
 	"scalla/internal/proto"
 	"scalla/internal/store"
 	"scalla/internal/transport"
@@ -58,6 +59,16 @@ type NodeConfig struct {
 	Clock vclock.Clock
 	// Logf, if set, receives diagnostics.
 	Logf func(format string, args ...any)
+	// Tracer records per-request spans (shared with the Core on
+	// redirector roles). Default: a disabled tracer that can be enabled
+	// at runtime through the admin endpoint.
+	Tracer *obs.Tracer
+	// Summary, if set, receives this node's summary-monitoring stream:
+	// one JSON frame every SummaryEvery. Start launches the emitter;
+	// Stop closes the sink.
+	Summary obs.Sink
+	// SummaryEvery is the summary emission period. Default 10 s.
+	SummaryEvery time.Duration
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -76,7 +87,11 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(0, c.Clock)
+	}
 	c.Core.Clock = c.Clock
+	c.Core.Tracer = c.Tracer
 	return c
 }
 
@@ -177,6 +192,11 @@ func (n *Node) Start() error {
 	for _, p := range n.cfg.Parents {
 		n.wg.Add(1)
 		go func() { defer n.wg.Done(); n.parentLoop(p) }()
+	}
+	if n.cfg.Summary != nil {
+		em := obs.NewEmitter(n.cfg.SummaryEvery, n.cfg.Clock, n.Frame, n.cfg.Summary, n.cfg.Logf)
+		n.wg.Add(1)
+		go func() { defer n.wg.Done(); em.Run(n.stop) }()
 	}
 	return nil
 }

@@ -59,8 +59,9 @@ func E14Registration(s Scale) Table {
 		t.Notes = append(t.Notes, fmt.Sprintf("scalla first resolve: %v", err))
 	}
 	scallaTime := time.Since(start)
-	scallaFrames := cn.FramesSent.Load()
-	scallaBytes := cn.BytesSent.Load()
+	scallaStats := cn.Stats()
+	scallaFrames := scallaStats.FramesSent
+	scallaBytes := scallaStats.BytesSent
 	c.Close()
 	cl.Stop()
 	t.Rows = append(t.Rows, []string{
@@ -95,11 +96,11 @@ func E14Registration(s Scale) Table {
 	gfsTime := time.Since(start)
 	t.Rows = append(t.Rows, []string{
 		"gfs-style manifest", fmt.Sprint(nServers), fmt.Sprint(filesPer),
-		fmtMs(gfsTime), fmt.Sprint(gn.FramesSent.Load()), fmt.Sprint(gn.BytesSent.Load()),
+		fmtMs(gfsTime), fmt.Sprint(gn.Stats().FramesSent), fmt.Sprint(gn.Stats().BytesSent),
 	})
 	if scallaBytes > 0 {
 		t.Rows = append(t.Rows, []string{"wire-bytes ratio", "", "",
-			"", "", fmt.Sprintf("%.0fx", float64(gn.BytesSent.Load())/float64(scallaBytes))})
+			"", "", fmt.Sprintf("%.0fx", float64(gn.Stats().BytesSent)/float64(scallaBytes))})
 	}
 	t.Notes = append(t.Notes,
 		"scalla's wire cost is independent of file count; the manifest scheme moves every name")

@@ -117,6 +117,11 @@ func (h *Histogram) Max() time.Duration {
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+// quantileLocked computes a quantile. Caller holds h.mu.
+func (h *Histogram) quantileLocked(q float64) time.Duration {
 	if h.count == 0 {
 		return 0
 	}
@@ -151,17 +156,24 @@ type Snapshot struct {
 	P50, P90, P99  time.Duration
 }
 
-// Snapshot returns a point-in-time summary.
+// Snapshot returns a point-in-time summary. All fields come from one
+// consistent view of the histogram: concurrent Observes can never make
+// a snapshot's P99 exceed its Max (or its Mean drift from its Count).
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{
+		Count: h.count,
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.quantileLocked(0.50),
+		P90:   h.quantileLocked(0.90),
+		P99:   h.quantileLocked(0.99),
 	}
+	if h.count > 0 {
+		s.Mean = h.sum / time.Duration(h.count)
+	}
+	return s
 }
 
 // String renders the snapshot compactly.
@@ -205,6 +217,32 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Visit calls fc for every counter and fh for every histogram, in
+// unspecified order. Either callback may be nil. The registry lock is
+// not held during the calls, so callbacks may use the registry freely.
+func (r *Registry) Visit(fc func(name string, c *Counter), fh func(name string, h *Histogram)) {
+	r.mu.Lock()
+	ctrs := make(map[string]*Counter, len(r.ctrs))
+	for n, c := range r.ctrs {
+		ctrs[n] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+	if fc != nil {
+		for n, c := range ctrs {
+			fc(n, c)
+		}
+	}
+	if fh != nil {
+		for n, h := range hists {
+			fh(n, h)
+		}
+	}
 }
 
 // Dump renders all metrics, sorted by name, one per line.

@@ -145,3 +145,62 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(time.Duration(i) * time.Nanosecond)
 	}
 }
+
+// TestHistogramSnapshotUnderConcurrentObserve hammers Observe while
+// taking snapshots and quantiles. Every snapshot must be internally
+// consistent — it is taken under one lock acquisition, so concurrent
+// Observes can never make its quantiles exceed its Max or its Count
+// exceed what Min/Max have seen.
+func TestHistogramSnapshotUnderConcurrentObserve(t *testing.T) {
+	var h Histogram
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(time.Duration(i%1000+1) * time.Microsecond)
+				i++
+			}
+		}(g)
+	}
+
+	for k := 0; k < 2000; k++ {
+		s := h.Snapshot()
+		// Zero-sample snapshots report all zeros, never garbage.
+		if s.Count == 0 {
+			if s.Mean != 0 || s.Min != 0 || s.Max != 0 || s.P50 != 0 || s.P99 != 0 {
+				t.Fatalf("empty snapshot not zeroed: %+v", s)
+			}
+			continue
+		}
+		if s.Min <= 0 || s.Max > time.Millisecond {
+			t.Fatalf("snapshot out of observed range: %+v", s)
+		}
+		if s.P50 > s.P90 || s.P90 > s.P99 {
+			t.Fatalf("quantiles not monotone: %+v", s)
+		}
+		if s.P50 < s.Min || s.P99 > s.Max {
+			t.Fatalf("quantiles escape [min, max]: %+v", s)
+		}
+		// Direct Quantile calls race with Observe too.
+		if q := h.Quantile(0.5); q < 0 {
+			t.Fatalf("Quantile(0.5) = %v", q)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiescent: a final snapshot agrees with the accessors exactly.
+	s := h.Snapshot()
+	if s.Count != h.Count() || s.Min != h.Min() || s.Max != h.Max() {
+		t.Fatalf("final snapshot %+v disagrees with accessors", s)
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"scalla/internal/metrics"
+)
+
+// AdminState is what the admin endpoint exposes. Any field may be nil;
+// the matching endpoint then reports 404.
+type AdminState struct {
+	// Collect assembles the node's current summary frame (served at
+	// /statusz).
+	Collect Collector
+	// Registry is the node's metrics registry (served at /metricsz).
+	Registry *metrics.Registry
+	// Tracer supplies completed spans (served at /tracez) and is
+	// toggled by POST /tracez?enable=true|false.
+	Tracer *Tracer
+}
+
+// NewHandler returns the admin/status handler:
+//
+//	GET  /statusz            current summary frame as pretty JSON
+//	GET  /metricsz           metrics registry dump, text
+//	GET  /tracez?n=100       most recent spans as JSON
+//	POST /tracez?enable=true toggle tracing at runtime
+func NewHandler(st AdminState) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		if st.Collect == nil {
+			http.NotFound(w, r)
+			return
+		}
+		f := st.Collect()
+		f.V = FrameVersion
+		if f.UnixMS == 0 {
+			f.UnixMS = time.Now().UnixMilli()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(f)
+	})
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		if st.Registry == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(st.Registry.Dump()))
+		w.Write([]byte("\n"))
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		if st.Tracer == nil {
+			http.NotFound(w, r)
+			return
+		}
+		if r.Method == http.MethodPost {
+			on, err := strconv.ParseBool(r.URL.Query().Get("enable"))
+			if err != nil {
+				http.Error(w, "tracez: enable must be true or false", http.StatusBadRequest)
+				return
+			}
+			st.Tracer.SetEnabled(on)
+			w.Write([]byte("ok\n"))
+			return
+		}
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				http.Error(w, "tracez: n must be an integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Enabled bool         `json:"enabled"`
+			Total   int64        `json:"total"`
+			Spans   []SpanRecord `json:"spans"`
+		}{st.Tracer.Enabled(), st.Tracer.Total(), st.Tracer.Spans(n)})
+	})
+	return mux
+}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"scalla/internal/metrics"
+)
+
+func adminFixture() (AdminState, *Tracer) {
+	reg := metrics.NewRegistry()
+	reg.Counter("node.queries").Add(7)
+	reg.Histogram("resolve.latency").Observe(2 * time.Millisecond)
+	tr := NewTracer(8, nil)
+	st := AdminState{
+		Collect:  func() Frame { return sampleFrame() },
+		Registry: reg,
+		Tracer:   tr,
+	}
+	return st, tr
+}
+
+func TestHandlerStatusz(t *testing.T) {
+	st, _ := adminFixture()
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statusz: %s", resp.Status)
+	}
+	var f Frame
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		t.Fatal(err)
+	}
+	if f.V != FrameVersion || f.Node != "mgr" || f.Cache == nil || f.Cache.Entries != 10 {
+		t.Fatalf("statusz frame: %+v", f)
+	}
+}
+
+func TestHandlerMetricsz(t *testing.T) {
+	st, _ := adminFixture()
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := readAll(t, resp)
+	if !strings.Contains(body, "node.queries") || !strings.Contains(body, "resolve.latency") {
+		t.Fatalf("metricsz dump missing entries:\n%s", body)
+	}
+}
+
+func TestHandlerTracez(t *testing.T) {
+	st, tr := adminFixture()
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+
+	// Enable tracing over HTTP, record spans, then read them back.
+	resp, err := http.Post(srv.URL+"/tracez?enable=true", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !tr.Enabled() {
+		t.Fatal("POST /tracez?enable=true did not enable the tracer")
+	}
+	for i := 0; i < 3; i++ {
+		sp := tr.Start("resolve", "/store/f")
+		sp.Event("cache.miss", "")
+		sp.End("redirect srv1:3094")
+	}
+
+	resp, err = http.Get(srv.URL + "/tracez?n=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Enabled bool         `json:"enabled"`
+		Total   int64        `json:"total"`
+		Spans   []SpanRecord `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Enabled || out.Total != 3 || len(out.Spans) != 2 {
+		t.Fatalf("tracez = %+v", out)
+	}
+	if out.Spans[0].Op != "resolve" || out.Spans[0].Outcome != "redirect srv1:3094" {
+		t.Fatalf("span = %+v", out.Spans[0])
+	}
+
+	// Disable again and check bad input handling.
+	resp, err = http.Post(srv.URL+"/tracez?enable=false", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if tr.Enabled() {
+		t.Fatal("POST /tracez?enable=false did not disable the tracer")
+	}
+	resp, err = http.Post(srv.URL+"/tracez?enable=bogus", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus enable: %s", resp.Status)
+	}
+	resp, err = http.Get(srv.URL + "/tracez?n=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n: %s", resp.Status)
+	}
+}
+
+func TestHandlerNilSections404(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(AdminState{}))
+	defer srv.Close()
+	for _, path := range []string{"/statusz", "/metricsz", "/tracez"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s with nil state: %s", path, resp.Status)
+		}
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,215 @@
+// Package obs is Scalla's observability subsystem: the pieces that let
+// an operator (or a later benchmark PR) see where resolution time goes
+// on a live daemon instead of guessing.
+//
+// It has three parts, modeled on production XRootD's monitoring stack:
+//
+//   - A ring-buffered event tracer (Tracer/Span) recording per-request
+//     span records for the resolve → query-flood → redirect/open paths.
+//     When tracing is off the hot path pays a single atomic load.
+//   - A summary-monitoring stream (Frame/Emitter/Sink): each daemon
+//     periodically emits one JSON frame summarizing its cache, response
+//     queue, cluster membership, data plane, transport counters, and
+//     per-op latency snapshots, over a pluggable sink (an in-process
+//     channel, an io.Writer, or a UDP/TCP target).
+//   - An admin/status HTTP handler (/statusz, /metricsz, /tracez) the
+//     daemons serve for point-in-time inspection.
+//
+// The package depends only on internal/metrics and internal/vclock so
+// every other component can feed it without import cycles.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"scalla/internal/metrics"
+)
+
+// FrameVersion identifies the summary-frame format; consumers skip
+// frames with a version they do not understand.
+const FrameVersion = 1
+
+// CacheSummary summarizes the location cache (paper Section III-A).
+type CacheSummary struct {
+	Entries    int64   `json:"entries"`
+	Buckets    int64   `json:"buckets"`
+	LoadFactor float64 `json:"load_factor"` // entries / buckets
+	Inserts    int64   `json:"inserts"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+	Resizes    int64   `json:"resizes"`
+	Hidden     int64   `json:"hidden"` // objects hidden by window ticks
+	Swept      int64   `json:"swept"`  // objects removed by sweeps
+	Refreshes  int64   `json:"refreshes"`
+	Ticks      uint64  `json:"ticks"` // window-clock tick counter Tw
+	Epoch      uint64  `json:"epoch"` // master connect counter Nc
+	// Conn is the per-subordinate connect stamps C[i] (paper Section
+	// III-A4), trimmed of trailing zeros to keep frames small.
+	Conn []uint64 `json:"c,omitempty"`
+}
+
+// RespQSummary summarizes the fast response queue (Section III-B).
+type RespQSummary struct {
+	Depth    int   `json:"depth"` // anchors currently occupied
+	Entries  int64 `json:"entries"`
+	Joins    int64 `json:"joins"`
+	Released int64 `json:"released"`
+	Expired  int64 `json:"expired"`
+	Full     int64 `json:"full"`
+}
+
+// ClusterSummary summarizes the membership table.
+type ClusterSummary struct {
+	Members   int `json:"members"`
+	Online    int `json:"online"`
+	Offline   int `json:"offline"` // disconnected but not yet dropped
+	ParentsUp int `json:"parents_up"`
+}
+
+// DataSummary summarizes the xrd data plane of a server-role node.
+type DataSummary struct {
+	OpenHandles  int   `json:"open_handles"`
+	Inflight     int   `json:"inflight"`
+	Opens        int64 `json:"opens"`
+	Reads        int64 `json:"reads"`
+	Writes       int64 `json:"writes"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	Staged       int64 `json:"staged"` // waits issued for staging files
+}
+
+// NetSummary carries the transport-layer frame/byte counters.
+type NetSummary struct {
+	FramesSent int64 `json:"frames_sent"`
+	BytesSent  int64 `json:"bytes_sent"`
+	Dials      int64 `json:"dials"`
+}
+
+// OpSummary is one latency histogram rendered for the stream.
+type OpSummary struct {
+	Count  int64 `json:"n"`
+	MeanUS int64 `json:"mean_us"`
+	P50US  int64 `json:"p50_us"`
+	P90US  int64 `json:"p90_us"`
+	P99US  int64 `json:"p99_us"`
+	MaxUS  int64 `json:"max_us"`
+}
+
+// Frame is one summary-monitoring record. Sections a node does not have
+// (a server has no cache, a manager no data plane) are omitted.
+type Frame struct {
+	V      int    `json:"v"`
+	Node   string `json:"node"`
+	Role   string `json:"role"`
+	Seq    uint64 `json:"seq"`
+	UnixMS int64  `json:"unix_ms"`
+
+	Cache    *CacheSummary        `json:"cache,omitempty"`
+	RespQ    *RespQSummary        `json:"respq,omitempty"`
+	Cluster  *ClusterSummary      `json:"cluster,omitempty"`
+	Data     *DataSummary         `json:"data,omitempty"`
+	Net      *NetSummary          `json:"net,omitempty"`
+	Ops      map[string]OpSummary `json:"ops,omitempty"`
+	Counters map[string]int64     `json:"counters,omitempty"`
+}
+
+// OpFromSnapshot converts a metrics snapshot into the stream's
+// microsecond rendering.
+func OpFromSnapshot(s metrics.Snapshot) OpSummary {
+	return OpSummary{
+		Count:  s.Count,
+		MeanUS: s.Mean.Microseconds(),
+		P50US:  s.P50.Microseconds(),
+		P90US:  s.P90.Microseconds(),
+		P99US:  s.P99.Microseconds(),
+		MaxUS:  s.Max.Microseconds(),
+	}
+}
+
+// OpsFromRegistry renders every histogram in reg for the stream and
+// returns the registry's counters alongside.
+func OpsFromRegistry(reg *metrics.Registry) (map[string]OpSummary, map[string]int64) {
+	if reg == nil {
+		return nil, nil
+	}
+	ops := map[string]OpSummary{}
+	ctrs := map[string]int64{}
+	reg.Visit(
+		func(name string, c *metrics.Counter) { ctrs[name] = c.Value() },
+		func(name string, h *metrics.Histogram) { ops[name] = OpFromSnapshot(h.Snapshot()) },
+	)
+	if len(ops) == 0 {
+		ops = nil
+	}
+	if len(ctrs) == 0 {
+		ctrs = nil
+	}
+	return ops, ctrs
+}
+
+// Encode renders the frame as one JSON document (no trailing newline).
+func (f Frame) Encode() []byte {
+	b, err := json.Marshal(f)
+	if err != nil {
+		// Frame is a plain data struct; Marshal cannot fail on it. Keep
+		// the stream alive regardless.
+		return []byte(fmt.Sprintf(`{"v":%d,"node":%q,"error":%q}`, FrameVersion, f.Node, err))
+	}
+	return b
+}
+
+// ParseFrame decodes one JSON summary frame.
+func ParseFrame(b []byte) (Frame, error) {
+	var f Frame
+	if err := json.Unmarshal(b, &f); err != nil {
+		return Frame{}, fmt.Errorf("obs: bad summary frame: %w", err)
+	}
+	if f.V != FrameVersion {
+		return Frame{}, fmt.Errorf("obs: unsupported frame version %d", f.V)
+	}
+	return f, nil
+}
+
+// String renders the frame as the compact one-liner `scalla-cli mon`
+// prints.
+func (f Frame) String() string {
+	var b strings.Builder
+	ts := time.UnixMilli(f.UnixMS).UTC().Format("15:04:05.000")
+	fmt.Fprintf(&b, "%s %s/%s #%d", ts, f.Node, f.Role, f.Seq)
+	if c := f.Cache; c != nil {
+		fmt.Fprintf(&b, " cache=%d/%d(%.0f%%) hit=%d miss=%d evict=%d tick=%d nc=%d",
+			c.Entries, c.Buckets, c.LoadFactor*100, c.Hits, c.Misses, c.Hidden, c.Ticks, c.Epoch)
+	}
+	if q := f.RespQ; q != nil {
+		fmt.Fprintf(&b, " respq=%d rel=%d exp=%d", q.Depth, q.Released, q.Expired)
+	}
+	if cl := f.Cluster; cl != nil {
+		fmt.Fprintf(&b, " members=%d/%d", cl.Online, cl.Members)
+	}
+	if d := f.Data; d != nil {
+		fmt.Fprintf(&b, " handles=%d reads=%d writes=%d", d.OpenHandles, d.Reads, d.Writes)
+	}
+	if n := f.Net; n != nil {
+		fmt.Fprintf(&b, " net=%df/%dB", n.FramesSent, n.BytesSent)
+	}
+	if op, ok := f.Ops["resolve.latency"]; ok {
+		fmt.Fprintf(&b, " resolve{n=%d p50=%dµs p99=%dµs}", op.Count, op.P50US, op.P99US)
+	}
+	return b.String()
+}
+
+// TrimConn drops trailing zero connect stamps so idle slots do not
+// bloat every frame.
+func TrimConn(conn []uint64) []uint64 {
+	n := len(conn)
+	for n > 0 && conn[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	return conn[:n]
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"scalla/internal/vclock"
+)
+
+// Sink receives encoded summary frames. Implementations must tolerate
+// concurrent Emit calls.
+type Sink interface {
+	// Emit delivers one encoded frame. A failed delivery is reported
+	// but must not poison the sink: the emitter keeps going.
+	Emit(frame []byte) error
+	Close() error
+}
+
+// ---------------------------------------------------------------------
+// Writer sink: newline-delimited JSON to any io.Writer.
+
+type writerSink struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewWriterSink streams frames to w as newline-delimited JSON.
+func NewWriterSink(w io.Writer) Sink { return &writerSink{w: w} }
+
+func (s *writerSink) Emit(frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(frame); err != nil {
+		return err
+	}
+	_, err := io.WriteString(s.w, "\n")
+	return err
+}
+
+func (s *writerSink) Close() error { return nil }
+
+// ---------------------------------------------------------------------
+// Channel sink: in-process delivery for tests and embedded consumers.
+
+// ChanSink delivers frames on C, dropping when the consumer lags —
+// summary monitoring is lossy by design, like XRootD's UDP stream.
+type ChanSink struct {
+	C chan []byte
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewChanSink returns a ChanSink buffering up to depth frames.
+func NewChanSink(depth int) *ChanSink {
+	if depth <= 0 {
+		depth = 16
+	}
+	return &ChanSink{C: make(chan []byte, depth)}
+}
+
+func (s *ChanSink) Emit(frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("obs: chan sink closed")
+	}
+	select {
+	case s.C <- frame:
+	default: // consumer lagging; drop
+	}
+	return nil
+}
+
+func (s *ChanSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.C)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// UDP sink: one datagram per frame, the XRootD summary-stream shape.
+
+type udpSink struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewUDPSink sends each frame as one UDP datagram to addr.
+func NewUDPSink(addr string) (Sink, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: udp sink: %w", err)
+	}
+	return &udpSink{conn: conn}, nil
+}
+
+func (s *udpSink) Emit(frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.conn.Write(frame)
+	return err
+}
+
+func (s *udpSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn.Close()
+}
+
+// ---------------------------------------------------------------------
+// TCP sink: newline-delimited JSON over a lazily (re)dialed connection.
+
+type tcpSink struct {
+	addr string
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewTCPSink streams newline-delimited frames to addr, dialing on first
+// use and redialing after an error. Dial failures surface from Emit; the
+// emitter logs and carries on.
+func NewTCPSink(addr string) Sink { return &tcpSink{addr: addr} }
+
+func (s *tcpSink) Emit(frame []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		c, err := net.Dial("tcp", s.addr)
+		if err != nil {
+			return err
+		}
+		s.conn = c
+	}
+	if _, err := s.conn.Write(append(frame, '\n')); err != nil {
+		s.conn.Close()
+		s.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (s *tcpSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		err := s.conn.Close()
+		s.conn = nil
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Emitter: the summary-monitoring loop.
+
+// Collector assembles a point-in-time Frame; the emitter stamps Seq,
+// UnixMS, and the format version.
+type Collector func() Frame
+
+// Emitter periodically collects a Frame and emits it on a Sink.
+type Emitter struct {
+	collect Collector
+	sink    Sink
+	every   time.Duration
+	clock   vclock.Clock
+	logf    func(format string, args ...any)
+	seq     uint64
+}
+
+// DefaultPeriod is the emission period NewEmitter applies when given a
+// non-positive one.
+const DefaultPeriod = 10 * time.Second
+
+// NewEmitter wires a collector to a sink. A nil clock defaults to
+// vclock.Real(); logf may be nil.
+func NewEmitter(every time.Duration, clock vclock.Clock, collect Collector, sink Sink, logf func(string, ...any)) *Emitter {
+	if every <= 0 {
+		every = DefaultPeriod
+	}
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Emitter{collect: collect, sink: sink, every: every, clock: clock, logf: logf}
+}
+
+// EmitNow collects and emits one frame immediately.
+func (e *Emitter) EmitNow() error {
+	f := e.collect()
+	e.seq++
+	f.V = FrameVersion
+	f.Seq = e.seq
+	f.UnixMS = e.clock.Now().UnixMilli()
+	return e.sink.Emit(f.Encode())
+}
+
+// Run emits one frame per period until stop closes, then closes the
+// sink. Run it in a goroutine.
+func (e *Emitter) Run(stop <-chan struct{}) {
+	t := e.clock.NewTicker(e.every)
+	defer t.Stop()
+	defer e.sink.Close()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C():
+			if err := e.EmitNow(); err != nil {
+				e.logf("obs: summary emit: %v", err)
+			}
+		}
+	}
+}

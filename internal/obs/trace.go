@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scalla/internal/vclock"
+)
+
+// Event is one timestamped point within a span, offset-relative to the
+// span's start.
+type Event struct {
+	At     time.Duration `json:"at"`
+	Kind   string        `json:"kind"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// SpanRecord is one completed request span as stored in the ring.
+type SpanRecord struct {
+	ID      uint64        `json:"id"`
+	Op      string        `json:"op"`
+	Path    string        `json:"path,omitempty"`
+	Start   time.Time     `json:"start"`
+	Dur     time.Duration `json:"dur"`
+	Outcome string        `json:"outcome,omitempty"`
+	Events  []Event       `json:"events,omitempty"`
+}
+
+// Tracer records request spans into a fixed-size ring. It is safe for
+// concurrent use. A disabled tracer (the default) makes Start a single
+// atomic load returning nil, and every Span method is nil-safe, so
+// instrumented code carries no branches of its own.
+type Tracer struct {
+	enabled atomic.Bool
+	clock   vclock.Clock
+	nextID  atomic.Uint64
+	started atomic.Int64 // spans started (includes unfinished)
+
+	mu    sync.Mutex
+	ring  []SpanRecord
+	next  int   // ring write cursor
+	total int64 // spans recorded into the ring
+}
+
+// DefaultSpanCapacity is the ring size NewTracer uses when given a
+// non-positive capacity.
+const DefaultSpanCapacity = 512
+
+// NewTracer returns a Tracer whose ring holds capacity completed spans
+// (DefaultSpanCapacity if capacity <= 0). The tracer starts disabled;
+// call SetEnabled(true) to begin recording. A nil clock defaults to
+// vclock.Real().
+func NewTracer(capacity int, clock vclock.Clock) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	if clock == nil {
+		clock = vclock.Real()
+	}
+	return &Tracer{clock: clock, ring: make([]SpanRecord, 0, capacity)}
+}
+
+// SetEnabled switches tracing on or off. Spans started before a switch
+// finish under the regime they started with.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether spans are being recorded — one atomic load,
+// the full cost tracing adds to a hot path while off.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Start begins a span for one request. It returns nil when tracing is
+// disabled (or t is nil); all Span methods tolerate a nil receiver.
+func (t *Tracer) Start(op, path string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	t.started.Add(1)
+	return &Span{
+		t:   t,
+		rec: SpanRecord{ID: t.nextID.Add(1), Op: op, Path: path, Start: t.clock.Now()},
+	}
+}
+
+// record stores a completed span, overwriting the oldest when full.
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+	} else {
+		t.ring[t.next] = rec
+	}
+	t.next = (t.next + 1) % cap(t.ring)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Spans returns up to max completed spans, most recent first (all of
+// them if max <= 0).
+func (t *Tracer) Spans(max int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.ring)
+	if max <= 0 || max > n {
+		max = n
+	}
+	out := make([]SpanRecord, 0, max)
+	// t.next is the oldest slot once the ring has wrapped; walk
+	// backwards from the newest.
+	for k := 1; k <= max; k++ {
+		i := (t.next - k + n) % n
+		out = append(out, t.ring[i])
+	}
+	return out
+}
+
+// Total returns how many spans have been recorded since creation
+// (including ones the ring has since overwritten).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Span is one in-flight request trace. A nil *Span (tracing disabled)
+// is valid: every method is a no-op.
+type Span struct {
+	t   *Tracer
+	rec SpanRecord
+}
+
+// Event appends a timestamped event to the span.
+func (s *Span) Event(kind, detail string) {
+	if s == nil {
+		return
+	}
+	s.rec.Events = append(s.rec.Events, Event{
+		At:     s.t.clock.Now().Sub(s.rec.Start),
+		Kind:   kind,
+		Detail: detail,
+	})
+}
+
+// End completes the span with the given outcome and commits it to the
+// ring. End is idempotent; only the first call records.
+func (s *Span) End(outcome string) {
+	if s == nil || s.t == nil {
+		return
+	}
+	s.rec.Dur = s.t.clock.Now().Sub(s.rec.Start)
+	s.rec.Outcome = outcome
+	s.t.record(s.rec)
+	s.t = nil
+}

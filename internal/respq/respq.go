@@ -62,6 +62,12 @@ type Config struct {
 	Period time.Duration
 	// Clock supplies time. Default vclock.Real().
 	Clock vclock.Clock
+	// OnExpired, if set, is invoked (without the queue lock held) after
+	// each expiry pass that timed entries out, with the number expired.
+	// Expiry passes run once per Period, off the allocation path, so
+	// the hook costs the hot path nothing; the observability layer uses
+	// it to count guard-window misses as they happen.
+	OnExpired func(n int)
 }
 
 func (c Config) withDefaults() Config {
@@ -262,6 +268,9 @@ func (q *Queue) expire() []readyBatch {
 		}
 	}
 	q.mu.Unlock()
+	if len(out) > 0 && q.cfg.OnExpired != nil {
+		q.cfg.OnExpired(len(out))
+	}
 	return out
 }
 
@@ -296,4 +305,12 @@ func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.stats
+}
+
+// Depth returns the number of anchors currently occupied — the queue
+// depth the summary-monitoring stream reports.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats.InUse
 }

@@ -2,15 +2,24 @@ package transport
 
 import "sync/atomic"
 
+// NetStats is a snapshot of a CountingNetwork's counters. The daemons'
+// summary-monitoring stream reports it; the benchmark harness uses it
+// to measure protocol traffic (registration cost in E14, query/response
+// message counts in E10).
+type NetStats struct {
+	FramesSent int64
+	BytesSent  int64
+	Dials      int64
+}
+
 // CountingNetwork wraps a Network and counts every frame and byte that
-// crosses it. The benchmark harness uses it to measure protocol traffic
-// (registration cost in E14, query/response message counts in E10).
+// crosses it.
 type CountingNetwork struct {
 	inner Network
 
-	FramesSent atomic.Int64
-	BytesSent  atomic.Int64
-	Dials      atomic.Int64
+	framesSent atomic.Int64
+	bytesSent  atomic.Int64
+	dials      atomic.Int64
 }
 
 // Counting wraps net with frame/byte counting.
@@ -18,11 +27,20 @@ func Counting(net Network) *CountingNetwork {
 	return &CountingNetwork{inner: net}
 }
 
+// Stats returns a snapshot of the counters.
+func (n *CountingNetwork) Stats() NetStats {
+	return NetStats{
+		FramesSent: n.framesSent.Load(),
+		BytesSent:  n.bytesSent.Load(),
+		Dials:      n.dials.Load(),
+	}
+}
+
 // Reset zeroes the counters.
 func (n *CountingNetwork) Reset() {
-	n.FramesSent.Store(0)
-	n.BytesSent.Store(0)
-	n.Dials.Store(0)
+	n.framesSent.Store(0)
+	n.bytesSent.Store(0)
+	n.dials.Store(0)
 }
 
 func (n *CountingNetwork) Listen(addr string) (Listener, error) {
@@ -38,7 +56,7 @@ func (n *CountingNetwork) Dial(addr string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	n.Dials.Add(1)
+	n.dials.Add(1)
 	return &countingConn{Conn: c, n: n}, nil
 }
 
@@ -66,8 +84,8 @@ type countingConn struct {
 func (cc *countingConn) Send(frame []byte) error {
 	err := cc.Conn.Send(frame)
 	if err == nil {
-		cc.n.FramesSent.Add(1)
-		cc.n.BytesSent.Add(int64(len(frame)))
+		cc.n.framesSent.Add(1)
+		cc.n.bytesSent.Add(int64(len(frame)))
 	}
 	return err
 }

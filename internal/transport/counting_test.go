@@ -22,22 +22,23 @@ func TestCountingNetworkCountsFramesAndBytes(t *testing.T) {
 	}
 	srv := <-acc
 
-	if cn.Dials.Load() != 1 {
-		t.Errorf("Dials = %d", cn.Dials.Load())
+	if s := cn.Stats(); s.Dials != 1 {
+		t.Errorf("Dials = %d", s.Dials)
 	}
 	cli.Send([]byte("12345"))
 	srv.Recv()
 	srv.Send([]byte("123"))
 	cli.Recv()
-	if cn.FramesSent.Load() != 2 {
-		t.Errorf("FramesSent = %d", cn.FramesSent.Load())
+	s := cn.Stats()
+	if s.FramesSent != 2 {
+		t.Errorf("FramesSent = %d", s.FramesSent)
 	}
-	if cn.BytesSent.Load() != 8 {
-		t.Errorf("BytesSent = %d", cn.BytesSent.Load())
+	if s.BytesSent != 8 {
+		t.Errorf("BytesSent = %d", s.BytesSent)
 	}
 	cn.Reset()
-	if cn.FramesSent.Load() != 0 || cn.BytesSent.Load() != 0 || cn.Dials.Load() != 0 {
-		t.Error("Reset did not clear counters")
+	if s := cn.Stats(); s != (NetStats{}) {
+		t.Errorf("Reset did not clear counters: %+v", s)
 	}
 }
 

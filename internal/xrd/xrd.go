@@ -40,6 +40,26 @@ type Server struct {
 
 	inflight atomic.Int64
 	closed   atomic.Bool
+
+	opens        atomic.Int64
+	reads        atomic.Int64
+	writes       atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	staged       atomic.Int64 // Wait replies issued for staging files
+}
+
+// Stats is a snapshot of the data plane's cumulative op counters, used
+// by the summary-monitoring stream and the status endpoints.
+type Stats struct {
+	OpenHandles  int   // handles currently open
+	Inflight     int   // requests currently executing
+	Opens        int64 // successful opens
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	Staged       int64 // Wait replies issued while files staged
 }
 
 type handle struct {
@@ -63,6 +83,23 @@ func New(cfg Config) *Server {
 
 // Store returns the backing store.
 func (s *Server) Store() *store.Store { return s.cfg.Store }
+
+// Stats returns a snapshot of the cumulative op counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	h := len(s.handles)
+	s.mu.Unlock()
+	return Stats{
+		OpenHandles:  h,
+		Inflight:     int(s.inflight.Load()),
+		Opens:        s.opens.Load(),
+		Reads:        s.reads.Load(),
+		Writes:       s.writes.Load(),
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		Staged:       s.staged.Load(),
+	}
+}
 
 // Load returns the current load figure used for server selection.
 func (s *Server) Load() uint32 {
@@ -181,6 +218,7 @@ func (s *Server) open(m proto.Open) (proto.Message, uint64) {
 		if _, err := st.Stage(m.Path); err != nil {
 			return proto.Err{Code: proto.EIO, Msg: err.Error()}, 0
 		}
+		s.staged.Add(1)
 		return proto.Wait{Millis: s.cfg.StageWaitMillis}, 0
 	}
 	msg, fh := s.issueMsg(m.Path, m.Write, info.Size)
@@ -198,6 +236,7 @@ func (s *Server) issueMsg(path string, write bool, size int64) (proto.Message, u
 	fh := s.nextFH
 	s.handles[fh] = &handle{path: path, write: write}
 	s.mu.Unlock()
+	s.opens.Add(1)
 	return proto.OpenOK{FH: fh, Size: size}, fh
 }
 
@@ -219,8 +258,11 @@ func (s *Server) read(m proto.Read) proto.Message {
 	data, eof, err := s.cfg.Store.ReadAt(h.path, m.Off, int(m.N))
 	switch err {
 	case nil:
+		s.reads.Add(1)
+		s.bytesRead.Add(int64(len(data)))
 		return proto.Data{FH: m.FH, Bytes: data, EOF: eof}
 	case store.ErrStaging:
+		s.staged.Add(1)
 		return proto.Wait{Millis: s.cfg.StageWaitMillis}
 	case store.ErrNotFound:
 		// The file vanished under the handle (deleted elsewhere). The
@@ -243,6 +285,8 @@ func (s *Server) write(m proto.Write) proto.Message {
 	if err != nil {
 		return proto.Err{Code: proto.EIO, Msg: err.Error()}
 	}
+	s.writes.Add(1)
+	s.bytesWritten.Add(int64(n))
 	return proto.WriteOK{FH: m.FH, N: uint32(n)}
 }
 
