@@ -1,0 +1,158 @@
+package scalla
+
+// A revive/golint-style doc-comment check, implemented with the standard
+// go/ast toolchain so CI needs no external linter. It enforces, for the
+// packages listed below, that every exported identifier carries a doc
+// comment whose first sentence starts with the identifier's name (or an
+// article followed by it) — the convention godoc renders best. New
+// packages with operator-facing APIs should be added to the list.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// docCheckedPackages are the packages whose godoc quality is enforced.
+// They are the ones FAULTS.md and DESIGN.md send operators to read.
+var docCheckedPackages = []string{
+	"internal/transport",
+	"internal/cluster",
+	"internal/respq",
+	"internal/faults",
+	"internal/backoff",
+}
+
+func TestExportedIdentifiersAreDocumented(t *testing.T) {
+	for _, dir := range docCheckedPackages {
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			checkPackageDocs(t, dir)
+		})
+	}
+}
+
+func checkPackageDocs(t *testing.T, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	hasPkgDoc := false
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package ") {
+			hasPkgDoc = true
+		}
+		for _, decl := range f.Decls {
+			checkDecl(t, fset, decl)
+		}
+	}
+	if !hasPkgDoc {
+		t.Errorf("%s: no file carries a 'Package ...' doc comment", dir)
+	}
+}
+
+func checkDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedReceiver(d) {
+			return
+		}
+		checkComment(t, fset, d.Pos(), d.Name.Name, d.Doc)
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				doc := s.Doc
+				if doc == nil {
+					doc = d.Doc
+				}
+				checkComment(t, fset, s.Pos(), s.Name.Name, doc)
+			case *ast.ValueSpec:
+				for _, n := range s.Names {
+					if !n.IsExported() {
+						continue
+					}
+					doc := s.Doc
+					named := doc != nil
+					if doc == nil {
+						doc = d.Doc
+					}
+					// In a grouped const/var block, the group comment
+					// covers the members; only a member's own comment
+					// must lead with its name.
+					if doc == nil {
+						pos := fset.Position(s.Pos())
+						t.Errorf("%s:%d: exported %s has no doc comment",
+							pos.Filename, pos.Line, n.Name)
+					} else if named || len(d.Specs) == 1 {
+						checkComment(t, fset, s.Pos(), n.Name, doc)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether fn is a plain function or a method
+// on an exported type; methods of unexported types are not part of the
+// package's godoc surface.
+func exportedReceiver(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	typ := fn.Recv.List[0].Type
+	for {
+		switch v := typ.(type) {
+		case *ast.StarExpr:
+			typ = v.X
+		case *ast.IndexExpr: // generic receiver
+			typ = v.X
+		case *ast.Ident:
+			return v.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func checkComment(t *testing.T, fset *token.FileSet, at token.Pos, name string, doc *ast.CommentGroup) {
+	t.Helper()
+	pos := fset.Position(at)
+	if doc == nil || strings.TrimSpace(doc.Text()) == "" {
+		t.Errorf("%s:%d: exported %s has no doc comment", pos.Filename, pos.Line, name)
+		return
+	}
+	words := strings.Fields(doc.Text())
+	if len(words) > 0 && (words[0] == "A" || words[0] == "An" || words[0] == "The") {
+		words = words[1:]
+	}
+	if len(words) == 0 || words[0] != name {
+		t.Errorf("%s:%d: doc comment for %s should start with %q (golint convention), got %q",
+			pos.Filename, pos.Line, name, name, firstLine(doc.Text()))
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,117 @@
+// Package backoff implements jittered exponential backoff for the
+// recovery paths of Scalla's client and cmsd layers.
+//
+// The paper's availability story (Sections III-C1/C2) is client-driven:
+// when a server dies or a location goes stale, the client retries
+// through the manager rather than any server-side repair taking place.
+// Retries that are not paced amplify the very failure they respond to —
+// a dead manager replica would be hammered by every client in lockstep.
+// This package provides the standard remedy: exponential growth with a
+// deterministic, seedable jitter so retry storms decorrelate, yet every
+// schedule is reproducible under a fixed seed (the chaos suite depends
+// on that).
+package backoff
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes a backoff schedule. The zero value is usable; New
+// applies the documented defaults.
+type Policy struct {
+	// Base is the nominal delay before the first retry. Default 50 ms.
+	Base time.Duration
+	// Max caps the nominal (pre-jitter) delay. Default 5 s.
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier. Default 2.
+	Factor float64
+	// Jitter is the symmetric jitter fraction in [0, 1): attempt n's
+	// delay is drawn uniformly from
+	//   [nominal(n)·(1−Jitter), nominal(n)·(1+Jitter)]
+	// where nominal(n) = min(Base·Factor^n, Max). Default 0.2.
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 5 * time.Second
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		p.Jitter = 0.2
+	}
+	return p
+}
+
+// Nominal returns the pre-jitter delay for attempt n (0-based):
+// min(Base·Factor^n, Max). Exported so tests can assert jitter bounds
+// against the exact nominal value.
+func (p Policy) Nominal(n int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Base)
+	for i := 0; i < n; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			return p.Max
+		}
+	}
+	if d > float64(p.Max) {
+		return p.Max
+	}
+	return time.Duration(d)
+}
+
+// Backoff produces one retry schedule. It is safe for concurrent use,
+// though a schedule is normally owned by one retry loop.
+type Backoff struct {
+	p Policy
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	attempt int
+}
+
+// New returns a Backoff following p, drawing jitter from a deterministic
+// generator seeded with seed (equal seeds produce equal schedules).
+func New(p Policy, seed int64) *Backoff {
+	return &Backoff{p: p.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay to wait before the next attempt and advances
+// the schedule. The first call corresponds to attempt 0.
+func (b *Backoff) Next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	nominal := float64(b.p.Nominal(b.attempt))
+	b.attempt++
+	if b.p.Jitter == 0 {
+		return time.Duration(nominal)
+	}
+	// Uniform in [nominal·(1−j), nominal·(1+j)].
+	f := 1 - b.p.Jitter + 2*b.p.Jitter*b.rng.Float64()
+	return time.Duration(nominal * f)
+}
+
+// Attempt returns how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempt
+}
+
+// Reset rewinds the schedule to attempt 0 (called after a success so the
+// next failure starts from Base again). The jitter stream is not rewound;
+// determinism is over the whole sequence of draws.
+func (b *Backoff) Reset() {
+	b.mu.Lock()
+	b.attempt = 0
+	b.mu.Unlock()
+}

@@ -1,0 +1,99 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitterBounds is the satellite table-driven check: every delay a
+// schedule hands out must lie inside [nominal·(1−j), nominal·(1+j)] for
+// its attempt number, with the nominal value growing by Factor and
+// saturating at Max.
+func TestJitterBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Policy
+	}{
+		{"defaults", Policy{}},
+		{"tight", Policy{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond, Factor: 2, Jitter: 0.1}},
+		{"wide jitter", Policy{Base: 5 * time.Millisecond, Max: time.Second, Factor: 3, Jitter: 0.9}},
+		{"no jitter", Policy{Base: 20 * time.Millisecond, Max: 200 * time.Millisecond, Factor: 2, Jitter: 0}},
+		{"factor one", Policy{Base: 15 * time.Millisecond, Max: time.Second, Factor: 1, Jitter: 0.5}},
+		{"instant cap", Policy{Base: 80 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 4, Jitter: 0.25}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.p.withDefaults()
+			for seed := int64(0); seed < 5; seed++ {
+				b := New(tc.p, seed)
+				for n := 0; n < 12; n++ {
+					d := b.Next()
+					nominal := float64(p.Nominal(n))
+					lo := time.Duration(nominal * (1 - p.Jitter))
+					hi := time.Duration(nominal * (1 + p.Jitter))
+					if d < lo || d > hi {
+						t.Fatalf("seed %d attempt %d: delay %v outside [%v, %v]",
+							seed, n, d, lo, hi)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNominalSaturatesAtMax pins the growth curve: doubling from Base
+// until Max, then flat.
+func TestNominalSaturatesAtMax(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 75 * time.Millisecond, Factor: 2, Jitter: 0.2}
+	want := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond,
+		75 * time.Millisecond, 75 * time.Millisecond,
+	}
+	for n, w := range want {
+		if got := p.Nominal(n); got != w {
+			t.Errorf("Nominal(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+// TestDeterministicUnderSeed verifies that equal seeds reproduce the
+// exact schedule and different seeds diverge (the chaos harness relies
+// on reproducibility).
+func TestDeterministicUnderSeed(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	a, b := New(p, 42), New(p, 42)
+	c := New(p, 43)
+	same, diff := true, true
+	for i := 0; i < 16; i++ {
+		da, db, dc := a.Next(), b.Next(), c.Next()
+		if da != db {
+			same = false
+		}
+		if da != dc {
+			diff = false
+		}
+	}
+	if !same {
+		t.Error("equal seeds produced different schedules")
+	}
+	if diff {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+// TestResetRewindsAttempt checks Reset returns the schedule to Base-level
+// delays after a success.
+func TestResetRewindsAttempt(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0}
+	b := New(p, 1)
+	for i := 0; i < 4; i++ {
+		b.Next()
+	}
+	if b.Attempt() != 4 {
+		t.Fatalf("Attempt = %d, want 4", b.Attempt())
+	}
+	b.Reset()
+	if d := b.Next(); d != 10*time.Millisecond {
+		t.Fatalf("post-Reset delay = %v, want Base", d)
+	}
+}

@@ -214,6 +214,22 @@ func (c *Cache) ServerConnected(i int) {
 	c.mu.Unlock()
 }
 
+// ServerDropped records that subordinate i was dropped from the
+// cluster. Dropping advances the epoch exactly like a connection: any
+// cached bit stamped before C[i] is stale, so if the slot is later
+// reassigned to a different server the old bits cannot resurrect as
+// locations on the newcomer (Section III-A4's drop semantics,
+// belt-and-braces on top of the Vm masking that erases dropped slots).
+func (c *Cache) ServerDropped(i int) {
+	if i < 0 || i >= 64 {
+		return
+	}
+	c.mu.Lock()
+	c.nc++
+	c.conn[i] = c.nc
+	c.mu.Unlock()
+}
+
 // Epoch returns the current master connect counter Nc.
 func (c *Cache) Epoch() uint64 {
 	c.mu.Lock()

@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"testing"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/vclock"
+)
+
+// Table-driven end-to-end check of the connect-epoch machinery
+// (Section III-A4): server 0 answers a flood and lands in Vh, then
+// leaves and rejoins in various ways. Whatever the sequence, the stale
+// "have" bit must not resurrect — server 0 may only reappear in Vq,
+// where a fresh query re-establishes the truth. Repeated fetches after
+// the churn must stay stable (no late resurrection once the correction
+// memo is warm).
+func TestEpochVhNeverResurrectsAfterReconnect(t *testing.T) {
+	cases := []struct {
+		name string
+		// churn mutates the cache after server 0 is a known holder.
+		churn func(c *Cache)
+		// vm is the export mask seen at fetch time (after churn).
+		vm bitvec.Vec
+		// wantVq0 says whether server 0 must be queued for re-query.
+		wantVq0 bool
+	}{
+		{
+			// Reconnect under a new epoch, same slot: files may have
+			// changed while the server was away, so re-query it.
+			name:    "reconnect same slot",
+			churn:   func(c *Cache) { c.ServerConnected(0) },
+			vm:      bitvec.Of(0, 1),
+			wantVq0: true,
+		},
+		{
+			// Dropped for good: the slot leaves Vm and masking must
+			// erase every trace of it.
+			name:    "dropped, slot vacant",
+			churn:   func(c *Cache) { c.ServerDropped(0) },
+			vm:      bitvec.Of(1),
+			wantVq0: false,
+		},
+		{
+			// The dangerous case: the slot is recycled for a different
+			// server exporting the same prefix. The old holder's bit
+			// must not vouch for the newcomer.
+			name: "slot reassigned to new server",
+			churn: func(c *Cache) {
+				c.ServerDropped(0)
+				c.ServerConnected(0)
+			},
+			vm:      bitvec.Of(0, 1),
+			wantVq0: true,
+		},
+		{
+			// Two quick bounces before the next fetch still collapse
+			// into one correction: the bit stays quarantined in Vq.
+			name: "double bounce before fetch",
+			churn: func(c *Cache) {
+				c.ServerConnected(0)
+				c.ServerConnected(0)
+			},
+			vm:      bitvec.Of(0, 1),
+			wantVq0: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := testCache(vclock.NewFake())
+			vm := bitvec.Of(0, 1)
+			ref, _, _ := c.Add("/f", vm, 0)
+			c.Update("/f", ref.Hash(), 0, false, false)
+			c.Update("/f", ref.Hash(), 1, false, false)
+
+			tc.churn(c)
+
+			for fetch := 1; fetch <= 3; fetch++ {
+				_, v, ok := c.Fetch("/f", tc.vm, 0)
+				if !ok {
+					t.Fatalf("fetch %d: object evicted", fetch)
+				}
+				if v.Vh.Has(0) {
+					t.Fatalf("fetch %d: stale Vh bit resurrected: %+v", fetch, v)
+				}
+				if v.Vq.Has(0) != tc.wantVq0 {
+					t.Fatalf("fetch %d: Vq.Has(0) = %v, want %v (%+v)",
+						fetch, v.Vq.Has(0), tc.wantVq0, v)
+				}
+				if !v.Vh.Has(1) {
+					t.Fatalf("fetch %d: innocent holder lost: %+v", fetch, v)
+				}
+			}
+
+			// The quarantined bit leaves Vq the honest way: a fresh
+			// positive response moves it to Vh.
+			if tc.wantVq0 {
+				c.MarkQueried(ref, bitvec.Of(0))
+				c.Update("/f", ref.Hash(), 0, false, false)
+				_, v, _ := c.Fetch("/f", tc.vm, 0)
+				if !v.Vh.Has(0) || v.Vq.Has(0) {
+					t.Fatalf("re-verified holder not restored to Vh: %+v", v)
+				}
+			}
+		})
+	}
+}
+
+// A control case: no epoch change means cached locations stay trusted —
+// the machinery must not over-correct.
+func TestEpochStableWithoutReconnect(t *testing.T) {
+	c := testCache(vclock.NewFake())
+	vm := bitvec.Of(0, 1)
+	ref, _, _ := c.Add("/f", vm, 0)
+	c.Update("/f", ref.Hash(), 0, false, false)
+
+	_, v, _ := c.Fetch("/f", vm, 0)
+	if !v.Vh.Has(0) || v.Vq.Has(0) {
+		t.Fatalf("holder lost without any epoch change: %+v", v)
+	}
+	if c.Stats().CorrApplied != 0 {
+		t.Errorf("CorrApplied = %d, want 0", c.Stats().CorrApplied)
+	}
+}

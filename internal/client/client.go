@@ -9,9 +9,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 
+	"scalla/internal/backoff"
 	"scalla/internal/obs"
 	"scalla/internal/proto"
 	"scalla/internal/transport"
@@ -25,7 +27,44 @@ var (
 	ErrIO       = errors.New("scalla: I/O error")
 	ErrTimeout  = errors.New("scalla: wait budget exhausted")
 	ErrNoServer = errors.New("scalla: no manager reachable")
+	// ErrAllReplicasFailed marks a walk on which every attempted host
+	// failed at the transport level. Match it with errors.Is; errors.As
+	// against *AllReplicasError recovers the tried-host set.
+	ErrAllReplicasFailed = errors.New("scalla: all replicas failed")
 )
+
+// AllReplicasError reports a walk that failed at every host it reached:
+// each manager replica (and any redirect target a replica handed out)
+// either was unreachable or broke mid-exchange. It lets callers
+// distinguish retryable cluster-side trouble from fatal verdicts like
+// ErrNotExist. errors.Is matches both ErrAllReplicasFailed and the last
+// underlying failure's chain.
+type AllReplicasError struct {
+	// Tried lists the addresses that failed, in attempt order. The last
+	// entry is the host whose failure ended the walk — when it is not a
+	// manager, the walk died following a redirect to a stale location.
+	Tried []string
+	// Err is the last underlying failure.
+	Err error
+}
+
+func (e *AllReplicasError) Error() string {
+	return fmt.Sprintf("scalla: all replicas failed (tried %s): %v",
+		strings.Join(e.Tried, ", "), e.Err)
+}
+
+// Unwrap exposes both the sentinel and the last cause to errors.Is/As.
+func (e *AllReplicasError) Unwrap() []error {
+	return []error{ErrAllReplicasFailed, e.Err}
+}
+
+// LastTried returns the final failing address (empty if none recorded).
+func (e *AllReplicasError) LastTried() string {
+	if len(e.Tried) == 0 {
+		return ""
+	}
+	return e.Tried[len(e.Tried)-1]
+}
 
 // Config parameterizes a Client.
 type Config struct {
@@ -38,6 +77,22 @@ type Config struct {
 	// WaitBudget bounds the cumulative time spent obeying Wait verdicts
 	// for a single operation. Default 30 s.
 	WaitBudget time.Duration
+	// RPCTimeout bounds one request/reply exchange. A dropped frame
+	// surfaces as a failed attempt (the connection is torn down and
+	// redialed) instead of a hang. It must comfortably exceed the
+	// cluster's full delay, since redirectors block a Locate up to that
+	// long before answering. Default 15 s.
+	RPCTimeout time.Duration
+	// RPCAttempts is how many times one exchange is tried before the
+	// walk gives up on the host, redialing between attempts. Default 2.
+	RPCAttempts int
+	// Retry paces the gap between RPC attempts (jittered exponential
+	// backoff, reset after each success). The zero value uses the
+	// backoff package defaults scaled down for a client: Base 25 ms,
+	// Max 500 ms.
+	Retry backoff.Policy
+	// RetrySeed seeds the retry jitter for reproducible schedules.
+	RetrySeed int64
 	// Clock supplies time. Default vclock.Real().
 	Clock vclock.Clock
 	// Tracer records one span per walk (redirect chain) with the hops
@@ -52,6 +107,18 @@ func (c Config) withDefaults() Config {
 	if c.WaitBudget <= 0 {
 		c.WaitBudget = 30 * time.Second
 	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 15 * time.Second
+	}
+	if c.RPCAttempts <= 0 {
+		c.RPCAttempts = 2
+	}
+	if c.Retry.Base <= 0 {
+		c.Retry.Base = 25 * time.Millisecond
+	}
+	if c.Retry.Max <= 0 {
+		c.Retry.Max = 500 * time.Millisecond
+	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
 	}
@@ -64,7 +131,8 @@ func (c Config) withDefaults() Config {
 // Client is a Scalla client. It is safe for concurrent use; requests to
 // the same server serialize over one shared connection.
 type Client struct {
-	cfg Config
+	cfg   Config
+	retry *backoff.Backoff
 
 	mu    sync.Mutex
 	conns map[string]*sconn
@@ -78,7 +146,12 @@ type sconn struct {
 
 // New returns a Client.
 func New(cfg Config) *Client {
-	return &Client{cfg: cfg.withDefaults(), conns: make(map[string]*sconn)}
+	cfg = cfg.withDefaults()
+	return &Client{
+		cfg:   cfg,
+		retry: backoff.New(cfg.Retry, cfg.RetrySeed),
+		conns: make(map[string]*sconn),
+	}
 }
 
 // Close drops all cached connections.
@@ -123,46 +196,86 @@ func (cl *Client) drop(addr string, sc *sconn) {
 	sc.c.Close()
 }
 
-// rpc performs one request/reply exchange with addr, redialing once on
-// a broken cached connection.
+// rpc performs one request/reply exchange with addr. Each attempt is
+// bounded by RPCTimeout (a timed-out connection is torn down, which
+// also unblocks the exchange goroutine); failed attempts redial after a
+// jittered backoff so a struggling host is not hammered in a tight
+// loop.
 func (cl *Client) rpc(addr string, m proto.Message) (proto.Message, error) {
-	for attempt := 0; attempt < 2; attempt++ {
+	var lastErr error
+	for attempt := 0; attempt < cl.cfg.RPCAttempts; attempt++ {
+		if attempt > 0 {
+			cl.cfg.Clock.Sleep(cl.retry.Next())
+		}
 		sc, err := cl.conn(addr)
 		if err != nil {
 			return nil, err
 		}
+		frame, err := cl.exchange(sc, m)
+		if err != nil {
+			cl.drop(addr, sc)
+			lastErr = err
+			continue
+		}
+		cl.retry.Reset()
+		return proto.Unmarshal(frame)
+	}
+	return nil, fmt.Errorf("%w: %s unreachable: %v", ErrIO, addr, lastErr)
+}
+
+// exchange runs one send/recv pair under the RPC timeout. The exchange
+// goroutine owns the connection mutex; on timeout the connection is
+// closed, which errors the pending Recv and lets the goroutine finish.
+func (cl *Client) exchange(sc *sconn, m proto.Message) ([]byte, error) {
+	type result struct {
+		frame []byte
+		err   error
+	}
+	done := make(chan result, 1)
+	go func() {
 		sc.mu.Lock()
-		err = sc.c.Send(proto.Marshal(m))
+		defer sc.mu.Unlock()
+		err := sc.c.Send(proto.Marshal(m))
 		var frame []byte
 		if err == nil {
 			frame, err = sc.c.Recv()
 		}
-		sc.mu.Unlock()
-		if err != nil {
-			cl.drop(addr, sc)
-			continue
-		}
-		return proto.Unmarshal(frame)
+		done <- result{frame, err}
+	}()
+	select {
+	case r := <-done:
+		return r.frame, r.err
+	case <-cl.cfg.Clock.After(cl.cfg.RPCTimeout):
+		sc.c.Close()
+		return nil, fmt.Errorf("%w: rpc timed out after %v", ErrIO, cl.cfg.RPCTimeout)
 	}
-	return nil, fmt.Errorf("%w: %s unreachable", ErrIO, addr)
 }
 
 // walk sends m starting at a manager, following Redirects and obeying
 // Waits, until a terminal reply arrives. It returns the reply and the
-// address that produced it.
+// address that produced it. When every replica fails the error is a
+// typed *AllReplicasError carrying the tried-host set, so callers can
+// tell retryable cluster trouble from fatal verdicts.
 func (cl *Client) walk(m proto.Message) (proto.Message, string, error) {
 	var lastErr error
+	var tried []string
 	for _, mgr := range cl.cfg.Managers {
 		reply, addr, err := cl.walkFrom(mgr, m)
 		if err == nil {
 			return reply, addr, nil
 		}
+		tried = append(tried, addr)
 		lastErr = err
+		if errors.Is(err, ErrTimeout) {
+			// The wait budget is an end-to-end bound; another replica
+			// would only wait on the same pending resolution.
+			break
+		}
 	}
 	if lastErr == nil {
-		lastErr = ErrNoServer
+		return nil, "", ErrNoServer
 	}
-	return nil, "", lastErr
+	return nil, "", &AllReplicasError{Tried: tried, Err: lastErr}
 }
 
 func (cl *Client) walkFrom(addr string, m proto.Message) (proto.Message, string, error) {
@@ -175,6 +288,15 @@ func (cl *Client) walkFrom(addr string, m proto.Message) (proto.Message, string,
 		if err != nil {
 			sp.End("error " + addr)
 			return nil, addr, err
+		}
+		// A walk requests a refresh at most once: re-sending Refresh on
+		// every Wait retry would re-arm the object's processing deadline
+		// at the manager each round, turning a vanished file into a
+		// wait-budget livelock instead of an honest no-entry verdict
+		// after one full delay.
+		if lc, ok := m.(proto.Locate); ok && lc.Refresh {
+			lc.Refresh, lc.Avoid = false, ""
+			m = lc
 		}
 		switch r := reply.(type) {
 		case proto.Redirect:
@@ -299,6 +421,57 @@ func (cl *Client) Create(path string) (*File, error) {
 
 func (cl *Client) open(path string, write, create bool) (*File, error) {
 	reply, addr, err := cl.walk(proto.Open{Path: path, Write: write, Create: create})
+	if err != nil {
+		// Stale-location recovery (Section III-C1): when the walk died
+		// at a redirect target rather than at a manager, the manager
+		// vectored us at a host that stopped serving. Ask for a cache
+		// refresh that names the failing host, then follow the fresh
+		// location — once; repeated failure surfaces the typed error.
+		var are *AllReplicasError
+		if errors.As(err, &are) && !errors.Is(err, ErrTimeout) &&
+			are.LastTried() != "" && !cl.isManager(are.LastTried()) {
+			if f, rerr := cl.openRefreshed(path, write, create, are.LastTried()); rerr == nil {
+				return f, nil
+			}
+		}
+		return nil, err
+	}
+	switch r := reply.(type) {
+	case proto.OpenOK:
+		return &File{cl: cl, path: path, addr: addr, fh: r.FH, write: write || create, size: r.Size}, nil
+	case proto.Err:
+		return nil, errFrom(r)
+	default:
+		return nil, fmt.Errorf("%w: unexpected open reply %T", ErrIO, reply)
+	}
+}
+
+// isManager reports whether addr is one of the configured replicas.
+func (cl *Client) isManager(addr string) bool {
+	for _, m := range cl.cfg.Managers {
+		if m == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// openRefreshed retries an open after host avoid failed to serve path:
+// it forces a cache refresh naming the failing host, then opens at the
+// freshly resolved location.
+func (cl *Client) openRefreshed(path string, write, create bool, avoid string) (*File, error) {
+	reply, _, err := cl.walk(proto.Locate{Path: path, Write: write || create, Refresh: true, Avoid: avoid})
+	if err != nil {
+		return nil, err
+	}
+	rd, ok := reply.(proto.Redirect)
+	if !ok {
+		if e, isErr := reply.(proto.Err); isErr {
+			return nil, errFrom(e)
+		}
+		return nil, fmt.Errorf("%w: refresh did not redirect (%T)", ErrIO, reply)
+	}
+	reply, addr, err := cl.walkFrom(rd.Addr, proto.Open{Path: path, Write: write, Create: create})
 	if err != nil {
 		return nil, err
 	}

@@ -78,6 +78,13 @@ type Config struct {
 	// OnDrop is invoked (without table locks held) when a member is
 	// dropped from the cluster.
 	OnDrop func(index int)
+	// OnOffline is invoked (without table locks held) when a member's
+	// connection is lost but its slot is kept (the disconnect-to-drop
+	// window). The resolution core hooks its query re-flood machinery
+	// here: a member that dies while queried inside the processing
+	// deadline must not turn into a silent five-second wait for every
+	// parked client.
+	OnOffline func(index int)
 }
 
 func (c Config) withDefaults() Config {
@@ -209,6 +216,9 @@ func (t *Table) Disconnect(index int) {
 	gen := s.connGen
 	t.mu.Unlock()
 
+	if t.cfg.OnOffline != nil {
+		t.cfg.OnOffline(index)
+	}
 	go func() {
 		t.cfg.Clock.Sleep(t.cfg.DropDelay)
 		t.maybeDrop(index, gen)

@@ -6,6 +6,7 @@ package cmsd
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -120,8 +121,23 @@ type Core struct {
 	sendQuery atomic.Pointer[QuerySender]
 	qid       atomic.Uint64
 
+	// inflight tracks query floods whose processing deadline has not
+	// passed, so MemberDown can re-flood the ones a dying member leaves
+	// unanswered (graceful degradation inside the 5 s window).
+	inflightMu sync.Mutex
+	inflight   map[uint64]inflightFlood
+
 	stop    chan struct{}
 	stopped atomic.Bool
+}
+
+// inflightFlood is one outstanding query broadcast: who was asked, for
+// what, and until when an answer is still awaited.
+type inflightFlood struct {
+	path     string
+	write    bool
+	queried  bitvec.Vec
+	deadline time.Time
 }
 
 // NewCore builds a Core and starts its background machinery (response
@@ -132,7 +148,7 @@ func NewCore(cfg Config) *Core {
 		cfg.Tracer = obs.NewTracer(0, cfg.Clock)
 	}
 	c := &Core{cfg: cfg, stop: make(chan struct{}), reg: metrics.NewRegistry(),
-		tracer: cfg.Tracer}
+		tracer: cfg.Tracer, inflight: make(map[uint64]inflightFlood)}
 
 	// Wire membership events into the cache's connect-epoch counter.
 	userNew := cfg.Cluster.OnNewServer
@@ -140,6 +156,25 @@ func NewCore(cfg Config) *Core {
 		c.cache.ServerConnected(i)
 		if userNew != nil {
 			userNew(i)
+		}
+	}
+	// A dropped member bumps the epoch too: its slot leaves Vm, and if
+	// the slot is ever reassigned the old bits must not resurrect.
+	userDrop := cfg.Cluster.OnDrop
+	cfg.Cluster.OnDrop = func(i int) {
+		c.cache.ServerDropped(i)
+		c.reg.Counter("cluster.drops").Inc()
+		if userDrop != nil {
+			userDrop(i)
+		}
+	}
+	// A member death inside the processing deadline re-floods the
+	// queries it was part of (Section III-B graceful degradation).
+	userOffline := cfg.Cluster.OnOffline
+	cfg.Cluster.OnOffline = func(i int) {
+		c.MemberDown(i)
+		if userOffline != nil {
+			userOffline(i)
 		}
 	}
 	// Surface the rare maintenance events (window ticks, guard-window
@@ -291,6 +326,23 @@ func (c *Core) resolve(req Request, sp *obs.Span) Outcome {
 		// A deadline is pending: some other thread is querying. Defer
 		// via the fast response queue.
 		sp.Event("defer", "deadline pending")
+		return c.parkAndWait(ref, req.Write, avoid, sp)
+	}
+
+	// Every candidate left in Vq may be offline — disconnected but
+	// inside its drop-delay window, so still a member yet unqueryable.
+	// Nothing can improve the verdict before a reconnect, so a lapsed
+	// deadline resolves exactly like the nothing-left-to-ask case:
+	// letting clients spin on "wait" here would stall reads of vanished
+	// files and, worse, block creation of brand-new files cluster-wide
+	// whenever one member is down. The offline bits stay in Vq, and a
+	// reconnect re-queries them via MemberUp and Figure-3 correction.
+	if view.Vq.Intersect(c.table.OnlineVec()).IsEmpty() {
+		if now.After(view.Deadline) {
+			sp.Event("offline.only", "")
+			return c.notFound(path, vm, req, sp)
+		}
+		sp.Event("defer", "all candidates offline")
 		return c.parkAndWait(ref, req.Write, avoid, sp)
 	}
 
@@ -470,8 +522,98 @@ func (c *Core) broadcast(ref cache.Ref, vq bitvec.Vec, write bool, sp *obs.Span)
 	if !queried.IsEmpty() {
 		c.cache.MarkQueried(ref, queried)
 		c.reg.Counter("resolve.queries").Add(int64(queried.Count()))
+		c.noteFlood(q.QID, ref.Name(), write, queried)
 	}
 	sp.Event("flood", fmt.Sprintf("queried %d of %d", queried.Count(), vq.Count()))
+}
+
+// noteFlood registers an outstanding broadcast for MemberDown's re-flood
+// scan, pruning entries whose deadline already passed.
+func (c *Core) noteFlood(qid uint64, path string, write bool, queried bitvec.Vec) {
+	now := c.cfg.Clock.Now()
+	c.inflightMu.Lock()
+	for id, f := range c.inflight {
+		if now.After(f.deadline) {
+			delete(c.inflight, id)
+		}
+	}
+	c.inflight[qid] = inflightFlood{
+		path: path, write: write, queried: queried,
+		deadline: now.Add(c.cfg.FullDelay),
+	}
+	c.inflightMu.Unlock()
+}
+
+// MemberDown reacts to the loss of subordinate index while queries to it
+// may still be outstanding: every live flood that included it is
+// re-issued against the corrected Vq (the dead member's bits have moved
+// back into Vq via the offline set, and members that were unreachable at
+// first flood are still there). Without this, a member that dies holding
+// the only copy of an answer silently costs each parked client the full
+// five-second delay; with it, surviving holders get a second chance to
+// answer inside the window. The cluster layer invokes it via OnOffline.
+func (c *Core) MemberDown(index int) {
+	now := c.cfg.Clock.Now()
+	c.inflightMu.Lock()
+	var hit []inflightFlood
+	for id, f := range c.inflight {
+		if now.After(f.deadline) {
+			delete(c.inflight, id)
+			continue
+		}
+		if f.queried.Has(index) {
+			hit = append(hit, f)
+			delete(c.inflight, id)
+		}
+	}
+	c.inflightMu.Unlock()
+	for _, f := range hit {
+		c.reflood(f, index, "member.down")
+	}
+}
+
+// MemberUp reacts to subordinate index (re)joining while floods are in
+// flight: every live flood is re-issued, because the corrected Vq now
+// includes the newcomer (its connect epoch C[i] exceeds each cached
+// object's Cn) plus any member the first flood could not reach. This is
+// how a server that crashes and returns within the processing deadline
+// — or joins for the first time mid-flood — still answers parked
+// clients instead of leaving them to the full-delay fallback. The node
+// layer calls it once the child's query link is installed.
+func (c *Core) MemberUp(index int) {
+	now := c.cfg.Clock.Now()
+	c.inflightMu.Lock()
+	var hit []inflightFlood
+	for id, f := range c.inflight {
+		delete(c.inflight, id)
+		if now.After(f.deadline) {
+			continue
+		}
+		hit = append(hit, f)
+	}
+	c.inflightMu.Unlock()
+	for _, f := range hit {
+		c.reflood(f, index, "member.up")
+	}
+}
+
+// reflood re-broadcasts one interrupted query flood.
+func (c *Core) reflood(f inflightFlood, index int, why string) {
+	sp := c.tracer.Start("reflood", f.path)
+	sp.Event(why, fmt.Sprintf("server %d", index))
+	vm := c.table.VmFor(f.path)
+	if vm.IsEmpty() {
+		sp.End("no exporters")
+		return
+	}
+	ref, view, ok := c.cache.Fetch(f.path, vm, c.table.OfflineVec())
+	if !ok {
+		sp.End("name evicted")
+		return
+	}
+	c.reg.Counter("resolve.refloods").Inc()
+	c.broadcast(ref, view.Vq, f.write, sp)
+	sp.End("reflooded")
 }
 
 // HandleHave processes a positive response from subordinate index: it
@@ -479,6 +621,12 @@ func (c *Core) broadcast(ref cache.Ref, vq bitvec.Vec, write bool, sp *obs.Span)
 // rehash) and releases any fast-response waiters (Section III-B1).
 func (c *Core) HandleHave(index int, h proto.Have) {
 	c.reg.Counter("resolve.haves").Inc()
+	if h.QID != 0 {
+		// The flood got an answer; MemberDown need not re-issue it.
+		c.inflightMu.Lock()
+		delete(c.inflight, h.QID)
+		c.inflightMu.Unlock()
+	}
 	sp := c.tracer.Start("have", h.Path)
 	res, ok := c.cache.Update(h.Path, h.Hash, index, h.Pending, h.CanWrite)
 	if !ok {

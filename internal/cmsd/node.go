@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scalla/internal/backoff"
 	"scalla/internal/cluster"
 	"scalla/internal/names"
 	"scalla/internal/obs"
@@ -53,8 +54,21 @@ type NodeConfig struct {
 	// PingInterval is how often a redirector pings subordinates for
 	// load/liveness. Default 1 s.
 	PingInterval time.Duration
-	// ReconnectDelay paces a subordinate's redial loop. Default 200 ms.
+	// MissedPings is how many ping intervals a subordinate may stay
+	// completely silent (no pong, no have) before the redirector
+	// declares the link dead and closes it, marking the member offline —
+	// the missed-heartbeat eviction that keeps Vh/Vp free of dead
+	// servers between TCP-level failures. Default 5.
+	MissedPings int
+	// ReconnectDelay paces a subordinate's redial loop: it is the base
+	// of a jittered exponential backoff that doubles per failed attempt
+	// (capped at 20× the base) and resets after a successful login.
+	// Default 200 ms.
 	ReconnectDelay time.Duration
+	// LoginTimeout bounds the login request/reply exchange with a
+	// parent, so a dropped LoginOK frame cannot wedge the redial loop
+	// forever. Default 3 s.
+	LoginTimeout time.Duration
 	// Clock supplies time. Default vclock.Real().
 	Clock vclock.Clock
 	// Logf, if set, receives diagnostics.
@@ -78,8 +92,14 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.PingInterval <= 0 {
 		c.PingInterval = time.Second
 	}
+	if c.MissedPings <= 0 {
+		c.MissedPings = 5
+	}
 	if c.ReconnectDelay <= 0 {
 		c.ReconnectDelay = 200 * time.Millisecond
+	}
+	if c.LoginTimeout <= 0 {
+		c.LoginTimeout = 3 * time.Second
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
@@ -104,9 +124,10 @@ type Node struct {
 	dataL transport.Listener
 	ctlL  transport.Listener
 
-	mu    sync.Mutex
-	conns map[int]transport.Conn      // child control links by index
-	live  map[transport.Conn]struct{} // every open connection, closed on Stop
+	mu       sync.Mutex
+	conns    map[int]transport.Conn      // child control links by index
+	lastSeen map[int]time.Time           // last frame time per child index
+	live     map[transport.Conn]struct{} // every open connection, closed on Stop
 
 	parentsUp atomic.Int32 // successfully logged-in parent links
 	queries   atomic.Int64 // location queries received from parents
@@ -122,10 +143,11 @@ type Node struct {
 func NewNode(cfg NodeConfig) (*Node, error) {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		cfg:   cfg,
-		conns: make(map[int]transport.Conn),
-		live:  make(map[transport.Conn]struct{}),
-		stop:  make(chan struct{}),
+		cfg:      cfg,
+		conns:    make(map[int]transport.Conn),
+		lastSeen: make(map[int]time.Time),
+		live:     make(map[transport.Conn]struct{}),
+		stop:     make(chan struct{}),
 	}
 	switch cfg.Role {
 	case proto.RoleServer:
@@ -301,10 +323,14 @@ func (n *Node) childConn(conn transport.Conn) {
 	n.mu.Lock()
 	old := n.conns[idx]
 	n.conns[idx] = conn
+	n.lastSeen[idx] = n.cfg.Clock.Now()
 	n.mu.Unlock()
 	if old != nil {
 		old.Close()
 	}
+	// Now that the query link exists, give the newcomer a chance to
+	// answer any flood still inside its processing deadline.
+	n.core.MemberUp(idx)
 
 	for {
 		frame, err := conn.Recv()
@@ -315,6 +341,12 @@ func (n *Node) childConn(conn transport.Conn) {
 		if err != nil {
 			break
 		}
+		// Any frame proves the child alive for heartbeat purposes.
+		n.mu.Lock()
+		if n.conns[idx] == conn {
+			n.lastSeen[idx] = n.cfg.Clock.Now()
+		}
+		n.mu.Unlock()
 		switch m := msg.(type) {
 		case proto.Have:
 			n.core.HandleHave(idx, m)
@@ -329,6 +361,7 @@ func (n *Node) childConn(conn transport.Conn) {
 	n.mu.Lock()
 	if n.conns[idx] == conn {
 		delete(n.conns, idx)
+		delete(n.lastSeen, idx)
 		n.mu.Unlock()
 		n.core.Table().Disconnect(idx)
 		n.cfg.Logf("cmsd %s: child index %d disconnected", n.cfg.Name, idx)
@@ -348,22 +381,40 @@ func (n *Node) querySender(index int, q proto.Query) bool {
 	return conn.Send(proto.Marshal(q)) == nil
 }
 
-// pinger probes subordinates for load/liveness.
+// pinger probes subordinates for load/liveness and evicts the ones that
+// have been silent for MissedPings intervals: their link is closed,
+// which unwinds the child's recv loop and marks the member offline in
+// the table (so selection, Vm, and the correction machinery all see the
+// death without waiting for a transport-level error).
 func (n *Node) pinger() {
 	t := n.cfg.Clock.NewTicker(n.cfg.PingInterval)
 	defer t.Stop()
 	ping := proto.Marshal(proto.Ping{})
+	silence := time.Duration(n.cfg.MissedPings) * n.cfg.PingInterval
 	for {
 		select {
 		case <-n.stop:
 			return
 		case <-t.C():
+			cutoff := n.cfg.Clock.Now().Add(-silence)
 			n.mu.Lock()
 			conns := make([]transport.Conn, 0, len(n.conns))
-			for _, c := range n.conns {
+			var stale []transport.Conn
+			var staleIdx []int
+			for idx, c := range n.conns {
+				if seen, ok := n.lastSeen[idx]; ok && seen.Before(cutoff) {
+					stale = append(stale, c)
+					staleIdx = append(staleIdx, idx)
+					continue
+				}
 				conns = append(conns, c)
 			}
 			n.mu.Unlock()
+			for i, c := range stale {
+				n.cfg.Logf("cmsd %s: child index %d missed %d pings, evicting",
+					n.cfg.Name, staleIdx[i], n.cfg.MissedPings)
+				c.Close() // childConn's recv loop exits and disconnects it
+			}
 			for _, c := range conns {
 				_ = c.Send(ping)
 			}
@@ -375,6 +426,16 @@ func (n *Node) pinger() {
 // Child side: log into parents, answer queries.
 
 func (n *Node) parentLoop(parent string) {
+	// Jittered exponential redial pacing: a dead parent is not hammered
+	// in lockstep by its whole subtree, yet a healthy reconnection
+	// resets to the base delay. The seed is derived from the link's
+	// identity so a fixed-seed chaos run reproduces the same schedule.
+	bo := backoff.New(backoff.Policy{
+		Base:   n.cfg.ReconnectDelay,
+		Max:    20 * n.cfg.ReconnectDelay,
+		Factor: 2,
+		Jitter: 0.2,
+	}, int64(names.Hash(n.cfg.Name+"->"+parent)))
 	for {
 		select {
 		case <-n.stop:
@@ -383,17 +444,19 @@ func (n *Node) parentLoop(parent string) {
 		}
 		conn, err := n.cfg.Net.Dial(parent)
 		if err != nil {
-			n.sleepOrStop(n.cfg.ReconnectDelay)
+			n.sleepOrStop(bo.Next())
 			continue
 		}
-		n.runParentConn(parent, conn)
+		if n.runParentConn(parent, conn) {
+			bo.Reset()
+		}
 		select {
 		case <-n.stop:
 			conn.Close()
 			return
 		default:
 		}
-		n.sleepOrStop(n.cfg.ReconnectDelay)
+		n.sleepOrStop(bo.Next())
 	}
 }
 
@@ -418,30 +481,55 @@ func (n *Node) loginMsg() proto.Login {
 	}
 }
 
-func (n *Node) runParentConn(parent string, conn transport.Conn) {
+// runParentConn performs the login exchange and then serves the parent
+// link until it breaks. It reports whether login succeeded (the redial
+// loop resets its backoff only then).
+func (n *Node) runParentConn(parent string, conn transport.Conn) bool {
 	if !n.track(conn) {
-		return
+		return false
 	}
 	defer n.untrack(conn)
 	defer conn.Close()
 	if err := conn.Send(proto.Marshal(n.loginMsg())); err != nil {
-		return
+		return false
 	}
-	frame, err := conn.Recv()
-	if err != nil {
-		return
+	// The login reply is awaited under a timeout: a dropped LoginOK
+	// frame must surface as a failed attempt, not a wedged loop.
+	type recvResult struct {
+		frame []byte
+		err   error
+	}
+	replyCh := make(chan recvResult, 1)
+	go func() {
+		f, err := conn.Recv()
+		replyCh <- recvResult{f, err}
+	}()
+	var frame []byte
+	select {
+	case r := <-replyCh:
+		if r.err != nil {
+			return false
+		}
+		frame = r.frame
+	case <-n.cfg.Clock.After(n.cfg.LoginTimeout):
+		n.cfg.Logf("cmsd %s: login to %s timed out", n.cfg.Name, parent)
+		conn.Close() // unblocks the Recv goroutine
+		return false
+	case <-n.stop:
+		conn.Close()
+		return false
 	}
 	msg, err := proto.Unmarshal(frame)
 	if err != nil {
-		return
+		return false
 	}
 	if rej, isRej := msg.(proto.LoginRej); isRej {
 		n.cfg.Logf("cmsd %s: login rejected by %s: %s", n.cfg.Name, parent, rej.Reason)
 		n.sleepOrStop(5 * n.cfg.ReconnectDelay)
-		return
+		return false
 	}
 	if _, isOK := msg.(proto.LoginOK); !isOK {
-		return
+		return false
 	}
 	n.parentsUp.Add(1)
 	defer n.parentsUp.Add(-1)
@@ -450,11 +538,11 @@ func (n *Node) runParentConn(parent string, conn transport.Conn) {
 	for {
 		frame, err := conn.Recv()
 		if err != nil {
-			return
+			return true
 		}
 		msg, err := proto.Unmarshal(frame)
 		if err != nil {
-			return
+			return true
 		}
 		switch m := msg.(type) {
 		case proto.Query:
@@ -465,7 +553,7 @@ func (n *Node) runParentConn(parent string, conn transport.Conn) {
 				pong = proto.Pong{Load: n.data.Load(), Free: n.data.Store().Free()}
 			}
 			if err := conn.Send(proto.Marshal(pong)); err != nil {
-				return
+				return true
 			}
 		}
 	}

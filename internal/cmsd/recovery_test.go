@@ -1,0 +1,157 @@
+package cmsd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scalla/internal/cluster"
+	"scalla/internal/names"
+	"scalla/internal/proto"
+)
+
+// pollRedirect retries Resolve until it yields a redirect or the
+// deadline passes, returning the last outcome either way.
+func pollRedirect(t *testing.T, c *Core, path string, deadline time.Duration) Outcome {
+	t.Helper()
+	var out Outcome
+	for end := time.Now().Add(deadline); time.Now().Before(end); {
+		out = c.Resolve(Request{Path: path})
+		if out.Kind == KindRedirect {
+			return out
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return out
+}
+
+// A queried member dying mid-flood must trigger a re-flood that gives
+// the members the first broadcast could not reach a second chance to
+// answer inside the processing deadline.
+func TestCoreMemberDownRefloodsUnreachedMember(t *testing.T) {
+	rig := newCoreRig(t, 3, nil)
+	core := rig.core
+
+	var mu sync.Mutex
+	failedOnce := false
+	core.SetQuerySender(func(i int, q proto.Query) bool {
+		rig.mu.Lock()
+		rig.sent[i] = append(rig.sent[i], q)
+		rig.mu.Unlock()
+		if i != 2 {
+			return true // servers 0 and 1 accept the query but stay silent
+		}
+		mu.Lock()
+		first := !failedOnce
+		failedOnce = true
+		mu.Unlock()
+		if first {
+			return false // link to the holder is down at first flood
+		}
+		go core.HandleHave(2, proto.Have{
+			QID: q.QID, Path: q.Path, Hash: q.Hash, CanWrite: true,
+		})
+		return true
+	})
+
+	if out := core.Resolve(Request{Path: "/f"}); out.Kind != KindWait {
+		t.Fatalf("initial outcome = %+v, want wait", out)
+	}
+	if got := rig.queriesTo(2); got != 1 {
+		t.Fatalf("holder saw %d sends before the re-flood, want 1", got)
+	}
+
+	// Server 0 — queried and silent — dies inside the deadline. The
+	// re-flood retries Vq, which still carries the unreached holder.
+	core.Table().Disconnect(0)
+
+	out := pollRedirect(t, core, "/f", 120*time.Millisecond)
+	if out.Kind != KindRedirect || out.Addr != "srvc:data" {
+		t.Fatalf("post-refload outcome = %+v, want redirect to srvc:data", out)
+	}
+	if got := rig.queriesTo(2); got != 2 {
+		t.Errorf("holder saw %d sends, want 2 (original + re-flood)", got)
+	}
+	if n := core.Metrics().Counter("resolve.refloods").Value(); n != 1 {
+		t.Errorf("resolve.refloods = %d, want 1", n)
+	}
+}
+
+// When every remaining Vq candidate is offline (disconnected but inside
+// the drop-delay window), the verdict must still land once the
+// processing deadline lapses: reads resolve to no-entry and creates
+// proceed on an online member. Without this, one down member would
+// stall vanished-file reads at the client's wait budget and block
+// cluster-wide file creation.
+func TestCoreOfflineOnlyCandidatesResolveAfterDeadline(t *testing.T) {
+	rig := newCoreRig(t, 2, func(int, proto.Query) (bool, bool) { return false, false })
+	rig.core.Table().UpdateStats(1, 0, 1_000)
+	rig.core.Table().Disconnect(0)
+
+	// Read of an unknown path: the online member is queried and stays
+	// silent; the offline member's bit parks in Vq. After the deadline
+	// the honest answer is no-entry, not another wait.
+	if out := rig.core.Resolve(Request{Path: "/gone"}); out.Kind != KindWait {
+		t.Fatalf("pre-deadline outcome = %+v, want wait", out)
+	}
+	time.Sleep(180 * time.Millisecond) // FullDelay is 150ms in the rig
+	if out := rig.core.Resolve(Request{Path: "/gone"}); out.Kind != KindNoEnt {
+		t.Fatalf("post-deadline outcome = %+v, want noent", out)
+	}
+
+	// Creation of a new file must not be blocked by the offline member:
+	// once the deadline lapses the create verdict selects an online one.
+	if out := rig.core.Resolve(Request{Path: "/new", Write: true, Create: true}); out.Kind != KindWait {
+		t.Fatalf("pre-deadline create outcome = %+v, want wait", out)
+	}
+	time.Sleep(180 * time.Millisecond)
+	out := rig.core.Resolve(Request{Path: "/new", Write: true, Create: true})
+	if out.Kind != KindRedirect || out.Addr != "srvb:data" {
+		t.Fatalf("create outcome = %+v, want redirect to online srvb:data", out)
+	}
+}
+
+// A member that joins (or rejoins under a new connect epoch) while a
+// flood is in flight must be queried via MemberUp, so it can answer
+// parked clients before the full-delay fallback.
+func TestCoreMemberUpRefloodsLateJoiner(t *testing.T) {
+	rig := newCoreRig(t, 2, nil)
+	core := rig.core
+	core.SetQuerySender(func(i int, q proto.Query) bool {
+		rig.mu.Lock()
+		rig.sent[i] = append(rig.sent[i], q)
+		rig.mu.Unlock()
+		if i == 2 {
+			go core.HandleHave(2, proto.Have{
+				QID: q.QID, Path: q.Path, Hash: q.Hash, CanWrite: true,
+			})
+		}
+		return true // servers 0 and 1 stay silent
+	})
+
+	if out := core.Resolve(Request{Path: "/late"}); out.Kind != KindWait {
+		t.Fatalf("initial outcome = %+v, want wait", out)
+	}
+
+	// A third server logs in while the flood is still inside its
+	// deadline; the node layer calls MemberUp once its link is live.
+	idx, _, err := core.Table().Login(cluster.Member{
+		Name: "srvc", Role: proto.RoleServer, DataAddr: "srvc:data",
+		Prefixes: names.NewPrefixSet("/"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 2 {
+		t.Fatalf("late joiner got index %d, want 2", idx)
+	}
+	core.MemberUp(idx)
+
+	out := pollRedirect(t, core, "/late", 120*time.Millisecond)
+	if out.Kind != KindRedirect || out.Addr != "srvc:data" {
+		t.Fatalf("post-join outcome = %+v, want redirect to srvc:data", out)
+	}
+	if got := rig.queriesTo(2); got < 1 {
+		t.Error("late joiner was never queried by the re-flood")
+	}
+}

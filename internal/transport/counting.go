@@ -43,6 +43,8 @@ func (n *CountingNetwork) Reset() {
 	n.dials.Store(0)
 }
 
+// Listen delegates to the wrapped Network and counts traffic on every
+// accepted connection.
 func (n *CountingNetwork) Listen(addr string) (Listener, error) {
 	l, err := n.inner.Listen(addr)
 	if err != nil {
@@ -51,6 +53,8 @@ func (n *CountingNetwork) Listen(addr string) (Listener, error) {
 	return &countingListener{l: l, n: n}, nil
 }
 
+// Dial delegates to the wrapped Network, counting the dial and all
+// frames sent on the resulting connection.
 func (n *CountingNetwork) Dial(addr string) (Conn, error) {
 	c, err := n.inner.Dial(addr)
 	if err != nil {

@@ -1,11 +1,17 @@
-// Package transport moves protocol frames between Scalla daemons.
+// Package transport moves protocol frames between Scalla daemons — the
+// point-to-point links of the paper's cell hierarchy (Section II-B):
+// child-to-parent control connections, query fan-out links, and the
+// client data plane.
 //
 // Two implementations are provided. TCP carries frames over real
 // sockets with a 4-byte length prefix — what production deployments
 // use. InProc carries frames over channels inside one process, with
-// configurable one-way latency and fault injection; the benchmark
-// harness uses it to emulate the paper's LAN regime (~50 µs one-way)
-// deterministically and to build thousand-node clusters in one process.
+// configurable one-way latency; the benchmark harness uses it to
+// emulate the paper's LAN regime (~50 µs one-way) deterministically and
+// to build thousand-node clusters in one process. For fault injection
+// beyond InProc's simple dial partition (drop, delay, duplicate,
+// reorder, link severing) wrap either Network with package
+// scalla/internal/faults.
 package transport
 
 import (
@@ -177,8 +183,9 @@ func NewInProc(cfg InProcConfig) *InProc {
 	}
 }
 
-// Partition makes addr unreachable for new dials (existing connections
-// survive, as with a real routing change). Pass reachable=true to heal.
+// SetReachable with reachable=false partitions addr for new dials
+// (existing connections survive, as with a real routing change); with
+// reachable=true it heals the partition.
 func (n *InProc) SetReachable(addr string, reachable bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -189,6 +196,8 @@ func (n *InProc) SetReachable(addr string, reachable bool) {
 	}
 }
 
+// Listen binds addr, an arbitrary unique string, on the in-process
+// network.
 func (n *InProc) Listen(addr string) (Listener, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -205,6 +214,8 @@ func (n *InProc) Listen(addr string) (Listener, error) {
 	return l, nil
 }
 
+// Dial connects to a bound listener, failing if addr is unbound or
+// partitioned.
 func (n *InProc) Dial(addr string) (Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[addr]

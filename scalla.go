@@ -32,6 +32,7 @@ import (
 	"scalla/internal/cluster"
 	"scalla/internal/cmsd"
 	"scalla/internal/nsd"
+	"scalla/internal/obs"
 	"scalla/internal/proto"
 	"scalla/internal/respq"
 	"scalla/internal/store"
@@ -100,6 +101,21 @@ type Options struct {
 	WritePolicy SelectionPolicy
 	// PingInterval paces liveness/load probes. Default 1 s.
 	PingInterval time.Duration
+	// MissedPings is how many ping intervals a subordinate may stay
+	// silent before its redirector evicts it as dead (see
+	// cmsd.NodeConfig.MissedPings). Default 5.
+	MissedPings int
+	// DropDelay is how long a disconnected member keeps its membership
+	// slot before being dropped (see cluster.Config.DropDelay).
+	// Default 10 min.
+	DropDelay time.Duration
+	// ReconnectDelay is the base of the subordinate redial backoff.
+	// Default 50 ms.
+	ReconnectDelay time.Duration
+	// Tracer, if set, records resolution spans on every redirector node
+	// (and is where a faults.Network should send its fault spans, so
+	// /tracez interleaves injections with the resolutions they disturb).
+	Tracer *obs.Tracer
 	// RespondAlways switches servers to the explicit-negative protocol
 	// baseline (experiment E10 only).
 	RespondAlways bool
@@ -144,7 +160,8 @@ type Cluster struct {
 	Servers []*Node
 
 	stores        []*store.Store
-	expectedLinks int // total parent links the tree should establish
+	serverCfgs    []cmsd.NodeConfig // for RestartServer
+	expectedLinks int               // total parent links the tree should establish
 }
 
 // StartCluster builds and starts a Scalla tree with the given shape:
@@ -160,6 +177,7 @@ func StartCluster(o Options) (*Cluster, error) {
 	coreCfg := cmsd.Config{
 		Cache:       cache.Config{Lifetime: o.Lifetime},
 		Queue:       respq.Config{Period: o.FastPeriod},
+		Cluster:     cluster.Config{DropDelay: o.DropDelay},
 		FullDelay:   o.FullDelay,
 		ReadPolicy:  o.ReadPolicy,
 		WritePolicy: o.WritePolicy,
@@ -174,6 +192,8 @@ func StartCluster(o Options) (*Cluster, error) {
 			Name: name, Role: proto.RoleManager,
 			DataAddr: name + ":data", CtlAddr: name + ":ctl",
 			Net: o.Net, Core: coreCfg, PingInterval: o.PingInterval,
+			MissedPings: o.MissedPings, ReconnectDelay: o.ReconnectDelay,
+			Tracer: o.Tracer,
 		})
 		if err != nil {
 			c.Stop()
@@ -207,6 +227,8 @@ func StartCluster(o Options) (*Cluster, error) {
 				DataAddr: name + ":data", CtlAddr: name + ":ctl",
 				Parents: parents[i%len(parents)], Prefixes: o.Prefixes,
 				Net: o.Net, Core: coreCfg, PingInterval: o.PingInterval,
+				MissedPings: o.MissedPings, ReconnectDelay: o.ReconnectDelay,
+				Tracer: o.Tracer,
 			})
 			if err != nil {
 				c.Stop()
@@ -222,21 +244,24 @@ func StartCluster(o Options) (*Cluster, error) {
 	for i := 0; i < o.Servers; i++ {
 		st := store.New(store.Config{StageDelay: o.StageDelay})
 		name := fmt.Sprintf("srv%d", i)
-		srv, err := c.startNode(cmsd.NodeConfig{
+		cfg := cmsd.NodeConfig{
 			Name: name, Role: proto.RoleServer,
 			DataAddr: name + ":data",
 			Parents:  parents[i%len(parents)],
 			Prefixes: o.Prefixes,
 			Net:      o.Net, Store: st,
-			RespondAlways: o.RespondAlways,
-			PingInterval:  o.PingInterval,
-		})
+			RespondAlways:  o.RespondAlways,
+			PingInterval:   o.PingInterval,
+			ReconnectDelay: o.ReconnectDelay,
+		}
+		srv, err := c.startNode(cfg)
 		if err != nil {
 			c.Stop()
 			return nil, err
 		}
 		c.Servers = append(c.Servers, srv)
 		c.stores = append(c.stores, st)
+		c.serverCfgs = append(c.serverCfgs, cfg)
 		c.expectedLinks += len(parents[i%len(parents)])
 	}
 
@@ -310,6 +335,39 @@ func (c *Cluster) NewClient() *Client {
 // Store returns server i's backing store — tests and workload
 // generators place files through it directly.
 func (c *Cluster) Store(i int) *store.Store { return c.stores[i] }
+
+// ManagerAddrs returns the data addresses of every head-node replica,
+// in the order clients should try them.
+func (c *Cluster) ManagerAddrs() []string {
+	addrs := make([]string, len(c.Managers))
+	for i, m := range c.Managers {
+		addrs[i] = m.DataAddr()
+	}
+	return addrs
+}
+
+// CrashServer stops data server i abruptly (listeners closed, links
+// dropped), simulating a node death. Its backing store and identity are
+// preserved; RestartServer brings it back. Combine with a
+// faults.Network Sever of its addresses to also cut in-flight frames.
+func (c *Cluster) CrashServer(i int) {
+	c.Servers[i].Stop()
+}
+
+// RestartServer restarts a crashed data server with its original
+// configuration and store. Logging back in under the same name reclaims
+// the same membership slot; whether that counts as a new connect epoch
+// is the table's call (same exports within the drop delay → locations
+// stay valid; after a drop → new server, old cache bits cannot
+// resurrect).
+func (c *Cluster) RestartServer(i int) error {
+	n, err := c.startNode(c.serverCfgs[i])
+	if err != nil {
+		return err
+	}
+	c.Servers[i] = n
+	return nil
+}
 
 // Depth returns the number of redirector levels above the servers
 // (1 = manager only).
