@@ -11,6 +11,7 @@ package scalla_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"scalla/internal/bitvec"
 	"scalla/internal/cache"
 	"scalla/internal/experiments"
+	"scalla/internal/proto"
 	"scalla/internal/vclock"
 )
 
@@ -25,6 +27,7 @@ import (
 
 func benchExperiment(b *testing.B, fn func(experiments.Scale) experiments.Table) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tab := fn(experiments.Scale{Quick: true})
 		if i == 0 {
@@ -126,6 +129,7 @@ func BenchmarkCacheTick(b *testing.B) {
 		}
 		c.Tick()
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -136,6 +140,69 @@ func BenchmarkCacheTick(b *testing.B) {
 		b.StartTimer()
 		c.Tick()
 	}
+}
+
+// BenchmarkCacheParallelFetch measures cached look-ups under concurrent
+// load with names pre-generated outside the timed loop, so the figure is
+// pure Fetch cost. Run with -cpu 1,4,8 to see how resolve throughput
+// scales with cores; this is the headline number for the lock-striped
+// cache (EXPERIMENTS.md records the before/after table).
+func BenchmarkCacheParallelFetch(b *testing.B) {
+	c := benchCache()
+	const n = 100_000
+	names := make([]string, n)
+	for i := range names {
+		names[i] = benchName(i)
+		c.Add(names[i], bitvec.Full, 0)
+	}
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Distinct prime-strided start offsets keep workers from
+		// marching over the same keys (and shards) in lockstep.
+		i := int(seq.Add(1)) * 7919
+		for pb.Next() {
+			c.Fetch(names[i%n], bitvec.Full, 0)
+			i++
+		}
+	})
+}
+
+// -------------------------------------------------------- wire micros --
+
+// benchQuery is a representative hot-path frame: the Query flooded to
+// every subordinate on a cache miss. It is pre-boxed as a Message so
+// the benchmarks measure the marshal path, not interface conversion.
+var benchQuery proto.Message = proto.Query{
+	QID:  42,
+	Path: "/store/data/Run2012A/AOD/0042/F00000042.root",
+	Hash: 0xdeadbeef,
+}
+
+// BenchmarkMarshalAlloc measures the allocating proto.Marshal path: one
+// fresh buffer per frame.
+func BenchmarkMarshalAlloc(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = proto.Marshal(benchQuery)
+		}
+	})
+}
+
+// BenchmarkMarshalReuse measures the pooled MarshalFrame/Release cycle
+// that every cmsd/xrd send path now uses: the buffer is recycled, so
+// the steady state is allocation-free.
+func BenchmarkMarshalReuse(b *testing.B) {
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			f := proto.MarshalFrame(benchQuery)
+			_ = f.Bytes()
+			f.Release()
+		}
+	})
 }
 
 // ---------------------------------------------------- cluster micros --
@@ -193,6 +260,7 @@ func BenchmarkLocateCachedParallel(b *testing.B) {
 		warm.Locate(paths[i], false)
 	}
 	warm.Close()
+	b.ReportAllocs()
 
 	var mu sync.Mutex
 	clients := map[*scalla.Client]bool{}

@@ -65,7 +65,7 @@ func runJSONBench(quick bool) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	out.Results = append(out.Results, resolved, benchSpan(n), benchFrameEncode(n/10))
+	out.Results = append(out.Results, resolved, benchMarshal(n), benchMarshalFrame(n), benchSpan(n), benchFrameEncode(n/10))
 
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)
 	b, err := json.MarshalIndent(out, "", "  ")
@@ -197,6 +197,25 @@ func benchResolveCached(n int) (BenchResult, error) {
 		}
 	})
 	return res, benchErr
+}
+
+// benchMarshal measures the allocating wire-encode path (one fresh
+// buffer per frame).
+func benchMarshal(n int) BenchResult {
+	var q proto.Message = proto.Query{QID: 42, Path: benchPath(42), Hash: 0xdeadbeef}
+	return measure("proto.marshal", n, func(i int) {
+		_ = proto.Marshal(q)
+	})
+}
+
+// benchMarshalFrame measures the pooled marshal/release cycle the send
+// paths use; steady state is allocation-free.
+func benchMarshalFrame(n int) BenchResult {
+	var q proto.Message = proto.Query{QID: 42, Path: benchPath(42), Hash: 0xdeadbeef}
+	return measure("proto.marshal_frame", n, func(i int) {
+		f := proto.MarshalFrame(q)
+		f.Release()
+	})
 }
 
 func benchSpan(n int) BenchResult {

@@ -25,6 +25,8 @@ var docCheckedPackages = []string{
 	"internal/respq",
 	"internal/faults",
 	"internal/backoff",
+	"internal/cache",
+	"internal/proto",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

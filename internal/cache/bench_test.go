@@ -72,6 +72,7 @@ func BenchmarkRefreshDeferred(b *testing.B) {
 		refs[i], _, _ = c.Add(benchName(i), bitvec.Full, 0)
 	}
 	c.Tick()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Refresh(refs[i%n], bitvec.Full, -1)
@@ -81,6 +82,7 @@ func BenchmarkRefreshDeferred(b *testing.B) {
 func BenchmarkClaimQuery(b *testing.B) {
 	c := benchCache(17711)
 	ref, _, _ := c.Add("/f", bitvec.Full, 0)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.ClaimQuery(ref)
@@ -95,6 +97,7 @@ func BenchmarkCorrectionMemoHit(b *testing.B) {
 		c.Update(benchName(i), ref.Hash(), i%32, false, false)
 	}
 	c.ServerConnected(40) // stale everything
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Fetch(benchName(i%n), bitvec.Full, 0)
@@ -107,6 +110,7 @@ func BenchmarkParallelFetch(b *testing.B) {
 	for i := 0; i < n; i++ {
 		c.Add(benchName(i), bitvec.Full, 0)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0

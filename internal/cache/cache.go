@@ -12,10 +12,22 @@
 // time with the O(1) connect-epoch algorithm of Figure 3, memoized per
 // window. References returned to callers carry a generation
 // authenticator so no lock spans consecutive cache calls.
+//
+// For multi-core scaling the table is lock-striped into Config.Shards
+// independent shards selected by the high bits of the CRC32 key (the low
+// bits feed the per-shard Fibonacci modulo, so both dispersions stay
+// uncorrelated). Every paper mechanism — Fibonacci sizing with the 80%
+// grow trigger, the 64-slot eviction window, deferred re-chaining,
+// hide-then-sweep, the memoized Figure-3 correction, the free list, and
+// reference authenticators — operates per shard, so shards never take
+// each other's locks. Statistics are per-shard atomics aggregated on
+// read, and cluster-wide events (Tick, ServerConnected, ServerDropped)
+// fan out shard by shard without any global lock.
 package cache
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scalla/internal/bitvec"
@@ -41,6 +53,11 @@ const (
 // (lifetime Lt divided into Lt/64 ticks).
 const Windows = 64
 
+// MaxShards caps Config.Shards. 256 shards leave 24 high hash bits for
+// shard selection headroom while keeping the fan-out paths (Tick,
+// epoch bumps, Stats aggregation) trivially cheap.
+const MaxShards = 256
+
 // Config parameterizes a Cache. The zero value is usable after
 // normalization; New applies the documented defaults.
 type Config struct {
@@ -49,14 +66,19 @@ type Config struct {
 	// Deadline is the processing-deadline duration (the "full delay").
 	// Default 5 seconds.
 	Deadline time.Duration
-	// InitialBuckets is the initial table size; it is rounded to the
-	// sizing policy's sequence. Default 17711 (a Fibonacci number).
+	// InitialBuckets is the initial table size summed over all shards;
+	// each shard starts at InitialBuckets/Shards rounded to the sizing
+	// policy's sequence. Default 17711 (a Fibonacci number).
 	InitialBuckets int64
 	// LoadFactor is the occupancy fraction that triggers growth.
 	// Default 0.80 (the paper's 80%).
 	LoadFactor float64
 	// Sizing selects Fibonacci (default) or power-of-two bucket counts.
 	Sizing Sizing
+	// Shards is the number of lock stripes; it is rounded up to a power
+	// of two and capped at MaxShards. Default 16. Shards=1 reproduces
+	// the original single-mutex cache exactly.
+	Shards int
 	// EagerRechain, when true, re-chains a refreshed object into its new
 	// window immediately instead of deferring to the sweep. This is the
 	// ablation baseline for experiment E12; the paper argues deferral
@@ -66,11 +88,12 @@ type Config struct {
 	// Tick instead of in a background goroutine. Used by tests and
 	// benchmarks that need determinism.
 	SyncSweep bool
-	// OnTick, if set, is invoked (without the cache lock held) after
+	// OnTick, if set, is invoked (without any shard lock held) after
 	// every window tick with the new tick count and how many objects
-	// that tick hid. Ticks are rare (Lifetime/64 apart), so the hook
-	// adds nothing to the lookup path; the observability layer uses it
-	// to stream window-tick eviction figures.
+	// that tick hid across all shards. Ticks are rare (Lifetime/64
+	// apart), so the hook adds nothing to the lookup path; the
+	// observability layer uses it to stream window-tick eviction
+	// figures.
 	OnTick func(tick uint64, hidden int64)
 	// Clock supplies time. Default vclock.Real().
 	Clock vclock.Clock
@@ -89,21 +112,33 @@ func (c Config) withDefaults() Config {
 	if c.LoadFactor <= 0 || c.LoadFactor >= 1 {
 		c.LoadFactor = 0.80
 	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Shards > MaxShards {
+		c.Shards = MaxShards
+	}
+	// Round up to a power of two so shard selection is a pure shift.
+	s := 1
+	for s < c.Shards {
+		s <<= 1
+	}
+	c.Shards = s
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
 	}
 	return c
 }
 
-// Stats are cumulative cache statistics, used by the status endpoints and
-// by the benchmark harness.
+// Stats are cumulative cache statistics aggregated across every shard,
+// used by the status endpoints and by the benchmark harness.
 type Stats struct {
 	Entries     int64 // live (findable) objects
-	Buckets     int64 // current table size
+	Buckets     int64 // current table size (sum of shard tables)
 	Inserts     int64 // objects added
 	Hits        int64 // successful fetches
 	Misses      int64 // failed lookups
-	Resizes     int64 // table growths
+	Resizes     int64 // table growths (any shard)
 	Hidden      int64 // objects hidden by window ticks
 	Swept       int64 // objects physically removed by sweeps
 	Rechained   int64 // objects moved to their refreshed window by sweeps
@@ -114,27 +149,70 @@ type Stats struct {
 	StaleRefs   int64 // operations that failed reference authentication
 }
 
-// Cache is a file-location cache. It is safe for concurrent use.
+// ShardStat is the per-shard slice of the statistics that matter for
+// skew visibility: how evenly the CRC32 high bits spread entries over
+// the stripes. The obs layer exposes one per shard on /statusz.
+type ShardStat struct {
+	Entries int64 // live (findable) objects in this shard
+	Buckets int64 // this shard's table size
+	Inserts int64 // objects added to this shard
+}
+
+// Cache is a file-location cache. It is safe for concurrent use; see
+// the package comment for the lock-striping scheme.
 type Cache struct {
-	cfg Config
+	cfg    Config
+	shift  uint32 // shard index = hash >> shift (top log2(Shards) bits)
+	shards []*shard
+
+	tw      atomic.Uint64  // absolute window-clock tick counter (paper's T_w)
+	sweepWG sync.WaitGroup // outstanding background sweeps
+}
+
+// shard is one lock stripe: a complete miniature of the paper's cache
+// (table, eviction windows, correction memo, free list, epoch state)
+// guarded by its own mutex.
+type shard struct {
+	cfg *Config // shared read-only configuration
 
 	mu      sync.Mutex
 	table   []*Loc
-	count   int64 // findable entries
 	growAt  int64
 	windows [Windows]*Loc // window chains, indexed by ta % Windows
-	tw      uint64        // absolute window-clock tick counter (paper's T_w)
+	tw      uint64        // shard's view of the window clock, set by Tick
 
-	// Connect-epoch state (Section III-A4).
+	// Connect-epoch state (Section III-A4), replicated per shard so the
+	// fetch-time correction never crosses a shard boundary. Every shard
+	// sees the identical sequence of ServerConnected/ServerDropped
+	// bumps, so the replicas stay equal (modulo fan-out timing).
 	nc   uint64         // master connect counter (paper's N_c)
 	conn [64]uint64     // C[i]: N_c value when subordinate i last connected
 	memo [Windows]wmemo // per-window memoized correction vectors
 
 	free *Loc // free list of removed objects (objects are never freed)
 
-	stats Stats
+	// Mutated under mu, loaded without it by Stats/Len aggregation.
+	count   atomic.Int64 // findable entries
+	buckets atomic.Int64 // len(table) mirror for lock-free Stats
+	stats   shardStats
+}
 
-	sweepWG sync.WaitGroup // outstanding background sweeps
+// shardStats holds one shard's cumulative counters as atomics:
+// incremented under the shard lock on the paths that already hold it,
+// aggregated lock-free by Stats().
+type shardStats struct {
+	inserts     atomic.Int64
+	hits        atomic.Int64
+	misses      atomic.Int64
+	resizes     atomic.Int64
+	hidden      atomic.Int64
+	swept       atomic.Int64
+	rechained   atomic.Int64
+	refreshes   atomic.Int64
+	corrApplied atomic.Int64
+	corrMemoHit atomic.Int64
+	reused      atomic.Int64
+	staleRefs   atomic.Int64
 }
 
 // wmemo memoizes a correction vector for one window: for objects whose
@@ -151,50 +229,102 @@ type wmemo struct {
 func New(cfg Config) *Cache {
 	cfg = cfg.withDefaults()
 	c := &Cache{cfg: cfg}
-	size := c.roundSize(cfg.InitialBuckets)
-	c.table = make([]*Loc, size)
-	c.setGrowAt()
+	// Shards is a power of two; the index is the top log2(Shards) bits
+	// of the 32-bit key. (For Shards == 1, hash >> 32 is 0 in Go.)
+	c.shift = 32
+	for s := cfg.Shards; s > 1; s >>= 1 {
+		c.shift--
+	}
+	perShard := (cfg.InitialBuckets + int64(cfg.Shards) - 1) / int64(cfg.Shards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	c.shards = make([]*shard, cfg.Shards)
+	for i := range c.shards {
+		sh := &shard{cfg: &c.cfg}
+		sh.table = make([]*Loc, sh.roundSize(perShard))
+		sh.buckets.Store(int64(len(sh.table)))
+		sh.setGrowAt()
+		c.shards[i] = sh
+	}
 	return c
 }
 
-func (c *Cache) roundSize(n int64) int64 {
-	if c.cfg.Sizing == SizingPowerOfTwo {
-		s := int64(1)
-		for s < n {
-			s <<= 1
+// shardFor returns the stripe owning hash.
+func (c *Cache) shardFor(hash uint32) *shard {
+	return c.shards[hash>>c.shift]
+}
+
+func (s *shard) roundSize(n int64) int64 {
+	if s.cfg.Sizing == SizingPowerOfTwo {
+		sz := int64(1)
+		for sz < n {
+			sz <<= 1
 		}
-		return s
+		return sz
 	}
 	return fib.AtLeast(n)
 }
 
-func (c *Cache) nextSize() int64 {
-	n := int64(len(c.table))
-	if c.cfg.Sizing == SizingPowerOfTwo {
+func (s *shard) nextSize() int64 {
+	n := int64(len(s.table))
+	if s.cfg.Sizing == SizingPowerOfTwo {
 		return n * 2
 	}
 	return fib.Next(n)
 }
 
-func (c *Cache) setGrowAt() {
-	c.growAt = int64(float64(len(c.table)) * c.cfg.LoadFactor)
+func (s *shard) setGrowAt() {
+	s.growAt = int64(float64(len(s.table)) * s.cfg.LoadFactor)
 }
 
-// Stats returns a snapshot of the cumulative statistics.
+// Stats returns a snapshot of the cumulative statistics, aggregated
+// across shards without taking any lock.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = c.count
-	s.Buckets = int64(len(c.table))
-	return s
+	var out Stats
+	for _, s := range c.shards {
+		out.Entries += s.count.Load()
+		out.Buckets += s.buckets.Load()
+		out.Inserts += s.stats.inserts.Load()
+		out.Hits += s.stats.hits.Load()
+		out.Misses += s.stats.misses.Load()
+		out.Resizes += s.stats.resizes.Load()
+		out.Hidden += s.stats.hidden.Load()
+		out.Swept += s.stats.swept.Load()
+		out.Rechained += s.stats.rechained.Load()
+		out.Refreshes += s.stats.refreshes.Load()
+		out.CorrApplied += s.stats.corrApplied.Load()
+		out.CorrMemoHit += s.stats.corrMemoHit.Load()
+		out.Reused += s.stats.reused.Load()
+		out.StaleRefs += s.stats.staleRefs.Load()
+	}
+	return out
 }
+
+// ShardStats returns one entry per shard so callers (obs, tests) can see
+// how evenly entries spread across the stripes.
+func (c *Cache) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = ShardStat{
+			Entries: s.count.Load(),
+			Buckets: s.buckets.Load(),
+			Inserts: s.stats.inserts.Load(),
+		}
+	}
+	return out
+}
+
+// ShardCount returns the number of lock stripes.
+func (c *Cache) ShardCount() int { return len(c.shards) }
 
 // Len returns the number of findable entries.
 func (c *Cache) Len() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.count
+	var n int64
+	for _, s := range c.shards {
+		n += s.count.Load()
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------
@@ -203,15 +333,19 @@ func (c *Cache) Len() int64 {
 // ServerConnected records that subordinate i (re)connected as a new
 // server. It advances the master counter Nc and stamps C[i], which is all
 // the bookkeeping a registration costs the cache — the paper's "extremely
-// light" node registration (Section V).
+// light" node registration (Section V). The bump fans out shard by
+// shard; no global lock is held, so look-ups in other shards proceed
+// during the walk.
 func (c *Cache) ServerConnected(i int) {
 	if i < 0 || i >= 64 {
 		return
 	}
-	c.mu.Lock()
-	c.nc++
-	c.conn[i] = c.nc
-	c.mu.Unlock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.nc++
+		s.conn[i] = s.nc
+		s.mu.Unlock()
+	}
 }
 
 // ServerDropped records that subordinate i was dropped from the
@@ -224,35 +358,40 @@ func (c *Cache) ServerDropped(i int) {
 	if i < 0 || i >= 64 {
 		return
 	}
-	c.mu.Lock()
-	c.nc++
-	c.conn[i] = c.nc
-	c.mu.Unlock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.nc++
+		s.conn[i] = s.nc
+		s.mu.Unlock()
+	}
 }
 
-// Epoch returns the current master connect counter Nc.
+// Epoch returns the current master connect counter Nc. Every shard sees
+// the same bump sequence, so shard 0's replica is authoritative.
 func (c *Cache) Epoch() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.nc
+	s := c.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nc
 }
 
 // ConnStamps returns a copy of the per-subordinate connect stamps C[]
 // (the Nc value at which each slot last connected) for status reporting.
 func (c *Cache) ConnStamps() [64]uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.conn
+	s := c.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn
 }
 
 // ---------------------------------------------------------------------
 // Lookup / insert.
 
 // find returns the findable object with the given hash and name, or nil.
-// Caller holds c.mu.
-func (c *Cache) find(hash uint32, name string) *Loc {
-	b := int64(hash) % int64(len(c.table))
-	for l := c.table[b]; l != nil; l = l.hnext {
+// Caller holds s.mu.
+func (s *shard) find(hash uint32, name string) *Loc {
+	b := int64(hash) % int64(len(s.table))
+	for l := s.table[b]; l != nil; l = l.hnext {
 		if l.keyLen > 0 && l.hash == hash && l.key == name {
 			return l
 		}
@@ -267,18 +406,20 @@ func (c *Cache) find(hash uint32, name string) *Loc {
 // snapshot.
 func (c *Cache) Fetch(name string, vm, offline bitvec.Vec) (Ref, View, bool) {
 	hash := names.Hash(name)
-	c.mu.Lock()
-	l := c.find(hash, name)
+	si := hash >> c.shift
+	s := c.shards[si]
+	s.mu.Lock()
+	l := s.find(hash, name)
 	if l == nil {
-		c.stats.Misses++
-		c.mu.Unlock()
+		s.mu.Unlock()
+		s.stats.misses.Add(1)
 		return Ref{}, View{}, false
 	}
-	c.correct(l, vm, offline)
+	s.correct(l, vm, offline)
 	v := l.view()
-	ref := Ref{obj: l, gen: l.gen, name: name, hash: hash}
-	c.stats.Hits++
-	c.mu.Unlock()
+	ref := Ref{obj: l, gen: l.gen, name: name, hash: hash, shard: si}
+	s.mu.Unlock()
+	s.stats.hits.Add(1)
 	return ref, v, true
 }
 
@@ -293,98 +434,99 @@ func (l *Loc) view() View {
 // created.
 func (c *Cache) Add(name string, vm, offline bitvec.Vec) (Ref, View, bool) {
 	hash := names.Hash(name)
+	si := hash >> c.shift
+	s := c.shards[si]
 	now := c.cfg.Clock.Now()
-	c.mu.Lock()
-	if l := c.find(hash, name); l != nil {
-		c.correct(l, vm, offline)
+	s.mu.Lock()
+	if l := s.find(hash, name); l != nil {
+		s.correct(l, vm, offline)
 		v := l.view()
-		ref := Ref{obj: l, gen: l.gen, name: name, hash: hash}
-		c.stats.Hits++
-		c.mu.Unlock()
+		ref := Ref{obj: l, gen: l.gen, name: name, hash: hash, shard: si}
+		s.mu.Unlock()
+		s.stats.hits.Add(1)
 		return ref, v, false
 	}
-	if c.count >= c.growAt {
-		c.grow()
+	if s.count.Load() >= s.growAt {
+		s.grow()
 	}
-	l := c.alloc()
+	l := s.alloc()
 	l.key = name
 	l.keyLen = len(name)
 	l.hash = hash
 	l.vh, l.vp = 0, 0
 	l.vq = vm
-	l.cn = c.nc
-	l.ta = c.tw
+	l.cn = s.nc
+	l.ta = s.tw
 	l.deadline = now.Add(c.cfg.Deadline)
 	l.rr, l.rw = 0, 0
 
-	b := int64(hash) % int64(len(c.table))
-	l.hnext = c.table[b]
-	c.table[b] = l
+	b := int64(hash) % int64(len(s.table))
+	l.hnext = s.table[b]
+	s.table[b] = l
 	w := int(l.ta % Windows)
-	l.wnext = c.windows[w]
-	c.windows[w] = l
-	c.count++
-	c.stats.Inserts++
+	l.wnext = s.windows[w]
+	s.windows[w] = l
+	s.count.Add(1)
+	s.stats.inserts.Add(1)
 	v := l.view()
-	ref := Ref{obj: l, gen: l.gen, name: name, hash: hash}
-	c.mu.Unlock()
+	ref := Ref{obj: l, gen: l.gen, name: name, hash: hash, shard: si}
+	s.mu.Unlock()
 	return ref, v, true
 }
 
 // alloc takes an object from the free list or allocates a fresh one.
-// Caller holds c.mu.
-func (c *Cache) alloc() *Loc {
-	if l := c.free; l != nil {
-		c.free = l.hnext
+// Caller holds s.mu.
+func (s *shard) alloc() *Loc {
+	if l := s.free; l != nil {
+		s.free = l.hnext
 		l.hnext, l.wnext = nil, nil
-		c.stats.Reused++
+		s.stats.reused.Add(1)
 		return l
 	}
 	return &Loc{}
 }
 
-// grow resizes the table to the next size in the sizing policy's sequence
-// and redistributes every entry. Caller holds c.mu.
-func (c *Cache) grow() {
-	newSize := c.nextSize()
+// grow resizes the shard's table to the next size in the sizing policy's
+// sequence and redistributes every entry. Caller holds s.mu.
+func (s *shard) grow() {
+	newSize := s.nextSize()
 	nt := make([]*Loc, newSize)
-	for _, head := range c.table {
+	for _, head := range s.table {
 		for l := head; l != nil; {
 			next := l.hnext
-			if l.keyLen > 0 {
-				b := int64(l.hash) % newSize
-				l.hnext = nt[b]
-				nt[b] = l
-			} else {
-				// Hidden object awaiting sweep: keep it linked so the
-				// sweep can still unlink it, in its new bucket.
-				b := int64(l.hash) % newSize
-				l.hnext = nt[b]
-				nt[b] = l
-			}
+			// Hidden objects awaiting sweep stay linked so the sweep can
+			// still unlink them, in their new bucket.
+			b := int64(l.hash) % newSize
+			l.hnext = nt[b]
+			nt[b] = l
 			l = next
 		}
 	}
-	c.table = nt
-	c.setGrowAt()
-	c.stats.Resizes++
+	s.table = nt
+	s.buckets.Store(newSize)
+	s.setGrowAt()
+	s.stats.resizes.Add(1)
 }
 
-// ChainLengths returns the length of every hash bucket chain. The E4
+// ChainLengths returns the length of every hash bucket chain,
+// concatenated shard by shard (shard 0's buckets first). The E4
 // experiment uses it to compare key dispersion under the two sizing
-// policies.
+// policies; dispersion statistics are unaffected by the concatenation
+// order.
 func (c *Cache) ChainLengths() []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]int, len(c.table))
-	for i, head := range c.table {
-		n := 0
-		for l := head; l != nil; l = l.hnext {
-			if l.keyLen > 0 {
-				n++
+	var out []int
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, head := range s.table {
+			n := 0
+			for l := head; l != nil; l = l.hnext {
+				if l.keyLen > 0 {
+					n++
+				}
 			}
+			out = append(out, n)
 		}
-		out[i] = n
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -393,8 +535,8 @@ func (c *Cache) ChainLengths() []int {
 // Reference-validated mutation.
 
 // valid reports whether ref still refers to the object it was issued
-// for. Caller holds c.mu.
-func (c *Cache) valid(ref Ref) bool {
+// for. Caller holds the owning shard's lock.
+func (s *shard) valid(ref Ref) bool {
 	return ref.obj != nil && ref.obj.gen == ref.gen
 }
 
@@ -409,10 +551,11 @@ func (c *Cache) valid(ref Ref) bool {
 // the client (Section III-C2). ok=false means the reference was stale.
 func (c *Cache) ClaimQuery(ref Ref) (claimed, ok bool) {
 	now := c.cfg.Clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.valid(ref) {
-		c.stats.StaleRefs++
+	s := c.shards[ref.shard&uint32(len(c.shards)-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.valid(ref) {
+		s.stats.staleRefs.Add(1)
 		return false, false
 	}
 	if now.After(ref.obj.deadline) {
@@ -425,10 +568,11 @@ func (c *Cache) ClaimQuery(ref Ref) (claimed, ok bool) {
 // MarkQueried clears the queried servers from Vq (resolution step 6: Vq
 // is left holding only the servers that could NOT be queried).
 func (c *Cache) MarkQueried(ref Ref, queried bitvec.Vec) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.valid(ref) {
-		c.stats.StaleRefs++
+	s := c.shards[ref.shard&uint32(len(c.shards)-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.valid(ref) {
+		s.stats.staleRefs.Add(1)
 		return false
 	}
 	ref.obj.vq = ref.obj.vq.Minus(queried)
@@ -455,9 +599,10 @@ func (c *Cache) Update(name string, hash uint32, i int, pending, canWrite bool) 
 	if i < 0 || i >= 64 {
 		return res, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	l := c.find(hash, name)
+	s := c.shardFor(hash)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := s.find(hash, name)
 	if l == nil {
 		return res, false
 	}
@@ -481,10 +626,11 @@ func (c *Cache) Update(name string, hash uint32, i int, pending, canWrite bool) 
 // used when a client reports that the server it was vectored to cannot
 // actually serve the file (Section III-C1).
 func (c *Cache) Evict(ref Ref, i int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.valid(ref) {
-		c.stats.StaleRefs++
+	s := c.shards[ref.shard&uint32(len(c.shards)-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.valid(ref) {
+		s.stats.staleRefs.Add(1)
 		return false
 	}
 	bit := bitvec.Bit(i)
@@ -500,10 +646,11 @@ func (c *Cache) Evict(ref Ref, i int) bool {
 // if the reference is stale or a token is already present (the caller
 // should then join the existing queue entry instead).
 func (c *Cache) SetWaiters(ref Ref, write bool, token uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.valid(ref) {
-		c.stats.StaleRefs++
+	s := c.shards[ref.shard&uint32(len(c.shards)-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.valid(ref) {
+		s.stats.staleRefs.Add(1)
 		return false
 	}
 	if write {
@@ -524,10 +671,11 @@ func (c *Cache) SetWaiters(ref Ref, write bool, token uint64) bool {
 // token equals old (compare-and-swap). Callers use it to install a fresh
 // response-queue entry over a stale token without racing other threads.
 func (c *Cache) SwapWaiters(ref Ref, write bool, old, new uint64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.valid(ref) {
-		c.stats.StaleRefs++
+	s := c.shards[ref.shard&uint32(len(c.shards)-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.valid(ref) {
+		s.stats.staleRefs.Add(1)
 		return false
 	}
 	if write {
@@ -546,10 +694,11 @@ func (c *Cache) SwapWaiters(ref Ref, write bool, old, new uint64) bool {
 
 // Waiters returns the current token for the given mode (0 if none).
 func (c *Cache) Waiters(ref Ref, write bool) (uint64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.valid(ref) {
-		c.stats.StaleRefs++
+	s := c.shards[ref.shard&uint32(len(c.shards)-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.valid(ref) {
+		s.stats.staleRefs.Add(1)
 		return 0, false
 	}
 	if write {
@@ -561,9 +710,10 @@ func (c *Cache) Waiters(ref Ref, write bool) (uint64, bool) {
 // ClearWaiters drops the token for the given mode if it matches.
 // The fast-response thread calls this when it times a queue entry out.
 func (c *Cache) ClearWaiters(ref Ref, write bool, token uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.valid(ref) {
+	s := c.shards[ref.shard&uint32(len(c.shards)-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.valid(ref) {
 		return
 	}
 	if write {
@@ -587,22 +737,23 @@ func (c *Cache) ClearWaiters(ref Ref, write bool, token uint64) {
 // The caller becomes the querying thread.
 func (c *Cache) Refresh(ref Ref, vm bitvec.Vec, avoid int) (View, bool) {
 	now := c.cfg.Clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.valid(ref) {
-		c.stats.StaleRefs++
+	s := c.shards[ref.shard&uint32(len(c.shards)-1)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.valid(ref) {
+		s.stats.staleRefs.Add(1)
 		return View{}, false
 	}
 	l := ref.obj
 	l.vh, l.vp = 0, 0
 	l.vq = vm.Minus(bitvec.Bit(avoid))
-	l.cn = c.nc
+	l.cn = s.nc
 	l.deadline = now.Add(c.cfg.Deadline)
 	oldTa := l.ta
-	l.ta = c.tw
-	c.stats.Refreshes++
+	l.ta = s.tw
+	s.stats.refreshes.Add(1)
 	if c.cfg.EagerRechain && oldTa%Windows != l.ta%Windows {
-		c.rechainNow(l, int(oldTa%Windows))
+		s.rechainNow(l, int(oldTa%Windows))
 	}
 	return l.view(), true
 }
@@ -610,9 +761,9 @@ func (c *Cache) Refresh(ref Ref, vm bitvec.Vec, avoid int) (View, bool) {
 // rechainNow unlinks l from window chain w and links it into its current
 // chain — the eager baseline. Unlinking from a singly linked chain costs
 // a scan of that chain, which is what makes eager re-chaining
-// quadratic-ish under refresh-heavy load. Caller holds c.mu.
-func (c *Cache) rechainNow(l *Loc, w int) {
-	pp := &c.windows[w]
+// quadratic-ish under refresh-heavy load. Caller holds s.mu.
+func (s *shard) rechainNow(l *Loc, w int) {
+	pp := &s.windows[w]
 	for *pp != nil && *pp != l {
 		pp = &(*pp).wnext
 	}
@@ -620,7 +771,7 @@ func (c *Cache) rechainNow(l *Loc, w int) {
 		*pp = l.wnext
 	}
 	nw := int(l.ta % Windows)
-	l.wnext = c.windows[nw]
-	c.windows[nw] = l
-	c.stats.Rechained++
+	l.wnext = s.windows[nw]
+	s.windows[nw] = l
+	s.stats.rechained.Add(1)
 }

@@ -22,6 +22,21 @@ func testCache(fc *vclock.Fake) *Cache {
 	})
 }
 
+// sameShardName generates a name (pattern + counter) that the cache
+// assigns to shard want, for tests that exercise per-shard state such as
+// the free list.
+func sameShardName(t *testing.T, c *Cache, want int, pattern string) string {
+	t.Helper()
+	for i := 0; i < 1<<20; i++ {
+		n := fmt.Sprintf("%s%d", pattern, i)
+		if int(names.Hash(n)>>c.shift) == want {
+			return n
+		}
+	}
+	t.Fatalf("no name under %q maps to shard %d", pattern, want)
+	return ""
+}
+
 func TestAddFetchRoundTrip(t *testing.T) {
 	fc := vclock.NewFake()
 	c := testCache(fc)
@@ -197,8 +212,12 @@ func TestResizeFollowsFibonacciAndPreservesEntries(t *testing.T) {
 	if st.Resizes == 0 {
 		t.Fatal("expected at least one resize")
 	}
-	if !fib.IsFib(st.Buckets) {
-		t.Errorf("bucket count %d is not Fibonacci", st.Buckets)
+	// Each shard sizes its own table along the Fibonacci sequence; the
+	// aggregate Buckets is a sum of Fibonacci numbers.
+	for si, ss := range c.ShardStats() {
+		if !fib.IsFib(ss.Buckets) {
+			t.Errorf("shard %d bucket count %d is not Fibonacci", si, ss.Buckets)
+		}
 	}
 	if st.Entries != int64(n) {
 		t.Errorf("Entries = %d, want %d", st.Entries, n)
@@ -212,7 +231,7 @@ func TestResizeFollowsFibonacciAndPreservesEntries(t *testing.T) {
 }
 
 func TestPowerOfTwoSizing(t *testing.T) {
-	c := New(Config{InitialBuckets: 13, Sizing: SizingPowerOfTwo, Clock: vclock.NewFake()})
+	c := New(Config{InitialBuckets: 13, Sizing: SizingPowerOfTwo, Shards: 1, Clock: vclock.NewFake()})
 	st := c.Stats()
 	if st.Buckets != 16 {
 		t.Errorf("initial buckets = %d, want 16", st.Buckets)
@@ -220,9 +239,20 @@ func TestPowerOfTwoSizing(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		c.Add(fmt.Sprintf("/f%d", i), bitvec.Full, 0)
 	}
-	st = c.Stats()
-	if st.Buckets&(st.Buckets-1) != 0 {
-		t.Errorf("bucket count %d not a power of two", st.Buckets)
+	for si, ss := range c.ShardStats() {
+		if ss.Buckets&(ss.Buckets-1) != 0 {
+			t.Errorf("shard %d bucket count %d not a power of two", si, ss.Buckets)
+		}
+	}
+	// Sharded power-of-two tables keep a power-of-two aggregate too.
+	c16 := New(Config{InitialBuckets: 1024, Sizing: SizingPowerOfTwo, Clock: vclock.NewFake()})
+	for i := 0; i < 2000; i++ {
+		c16.Add(fmt.Sprintf("/g%d", i), bitvec.Full, 0)
+	}
+	for si, ss := range c16.ShardStats() {
+		if ss.Buckets&(ss.Buckets-1) != 0 {
+			t.Errorf("16-shard: shard %d bucket count %d not a power of two", si, ss.Buckets)
+		}
 	}
 }
 

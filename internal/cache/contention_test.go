@@ -1,0 +1,113 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scalla/internal/bitvec"
+	"scalla/internal/names"
+	"scalla/internal/vclock"
+)
+
+// TestShardContentionInvariants hammers a single shard with 32
+// goroutines adding, fetching, and refreshing colliding keys while the
+// window clock ticks (and sweeps run synchronously with the writers).
+// After the dust settles the striped stats must still satisfy the
+// paper's accounting identity: every inserted object is either still
+// findable, or was hidden and then physically swept.
+//
+// Run under -race this doubles as the striping data-race check: all 32
+// goroutines serialize on one shard mutex while Tick fans out across
+// every shard.
+func TestShardContentionInvariants(t *testing.T) {
+	c := New(Config{
+		InitialBuckets: 64,
+		SyncSweep:      false, // background sweeps race with the writers
+		Clock:          vclock.NewFake(),
+	})
+
+	// Build one shard's worth of colliding keys: names that all map to
+	// the shard owning "/hot".
+	ref, _, _ := c.Add("/hot", bitvec.Full, 0)
+	shard := ref.Shard()
+	const perG = 64
+	const goroutines = 32
+	keys := make([]string, 0, goroutines*perG)
+	for i := 0; len(keys) < cap(keys); i++ {
+		n := fmt.Sprintf("/hot/%d", i)
+		if int(names.Hash(n)>>c.shift) == shard {
+			keys = append(keys, n)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Ticker goroutine: expire windows while the writers run. More than
+	// 64 ticks guarantees early adds age a full lifetime and are swept.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.Tick()
+		}
+		close(stop)
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := keys[g*perG : (g+1)*perG]
+			for round := 0; ; round++ {
+				for _, n := range mine {
+					ref, _, created := c.Add(n, bitvec.Full, 0)
+					if !created {
+						// Already cached (by us or an earlier round):
+						// exercise the ref-validated paths too.
+						c.Refresh(ref, bitvec.Full, -1)
+					}
+					c.Fetch(n, bitvec.Full, 0)
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	c.WaitSweeps()
+
+	st := c.Stats()
+	if st.Inserts == 0 {
+		t.Fatal("no inserts recorded")
+	}
+	// Accounting identity: with all sweeps drained, nothing is in the
+	// hidden-awaiting-sweep limbo, so every insert is live or swept.
+	if st.Inserts != st.Entries+st.Swept {
+		t.Errorf("Inserts(%d) != Entries(%d) + Swept(%d)", st.Inserts, st.Entries, st.Swept)
+	}
+	if st.Entries != c.Len() {
+		t.Errorf("Stats.Entries(%d) != Len(%d)", st.Entries, c.Len())
+	}
+	// Hidden counts every hide; Swept counts every physical removal.
+	// With sweeps drained they must agree.
+	if st.Hidden != st.Swept {
+		t.Errorf("Hidden(%d) != Swept(%d) after WaitSweeps", st.Hidden, st.Swept)
+	}
+	// All the action (other than the Tick fan-out) was confined to one
+	// shard; per-shard stats must show it.
+	ss := c.ShardStats()
+	var sum int64
+	for _, s := range ss {
+		sum += s.Inserts
+	}
+	if sum != st.Inserts {
+		t.Errorf("shard inserts sum %d != aggregate Inserts %d", sum, st.Inserts)
+	}
+	if ss[shard].Inserts != st.Inserts {
+		t.Errorf("shard %d Inserts = %d, want all %d (colliding keys)", shard, ss[shard].Inserts, st.Inserts)
+	}
+}

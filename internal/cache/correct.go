@@ -4,7 +4,7 @@ import "scalla/internal/bitvec"
 
 // correct applies the Figure-3 correction equations to l, bringing its
 // cached location state up to date with the current cluster
-// configuration. It is called with c.mu held, on every fetch path.
+// configuration. It is called with s.mu held, on every fetch path.
 //
 // The correction handles the four configuration changes of Section
 // III-A4:
@@ -21,10 +21,11 @@ import "scalla/internal/bitvec"
 // subordinate whose connect epoch is later than the object's snapshot Cn
 // — and memoized per eviction window (Vwc/Cwn), exploiting the time
 // locality of object creation so that in the common case the correction
-// is a handful of mask operations.
-func (c *Cache) correct(l *Loc, vm, offline bitvec.Vec) {
-	if l.cn != c.nc {
-		vc := c.connectVector(l)
+// is a handful of mask operations. Both C[] and the memo are replicated
+// per shard, so the correction never leaves the shard holding the lock.
+func (s *shard) correct(l *Loc, vm, offline bitvec.Vec) {
+	if l.cn != s.nc {
+		vc := s.connectVector(l)
 		// Figure 3, Eq. 1: Vq ← (Vq ∪ Vc) ∩ Vm
 		l.vq = l.vq.Union(vc).Intersect(vm)
 		// Eq. 2/3: the holders/preparers are the old values less the
@@ -33,8 +34,8 @@ func (c *Cache) correct(l *Loc, vm, offline bitvec.Vec) {
 		l.vp = l.vp.Minus(l.vq).Intersect(vm)
 		// Eq. 4: Cn ← Nc, so the next fetch corrects only if the
 		// configuration changes again.
-		l.cn = c.nc
-		c.stats.CorrApplied++
+		l.cn = s.nc
+		s.stats.corrApplied.Add(1)
 	} else {
 		// Configuration unchanged since caching, but the export mask for
 		// this path may still be narrower than when cached.
@@ -57,19 +58,19 @@ func (c *Cache) correct(l *Loc, vm, offline bitvec.Vec) {
 // connect epoch C[i] is later than l's snapshot Cn. It first consults the
 // memo of l's eviction window; on a miss it scans C[] once and stores the
 // result (the paper's Vwc/Cwn optimization, Section III-A4).
-// Caller holds c.mu.
-func (c *Cache) connectVector(l *Loc) bitvec.Vec {
-	w := &c.memo[l.ta%Windows]
-	if w.valid && w.forCn == l.cn && w.atNc == c.nc {
-		c.stats.CorrMemoHit++
+// Caller holds s.mu.
+func (s *shard) connectVector(l *Loc) bitvec.Vec {
+	w := &s.memo[l.ta%Windows]
+	if w.valid && w.forCn == l.cn && w.atNc == s.nc {
+		s.stats.corrMemoHit.Add(1)
 		return w.vwc
 	}
 	var vc bitvec.Vec
 	for i := 0; i < 64; i++ {
-		if c.conn[i] > l.cn {
+		if s.conn[i] > l.cn {
 			vc = vc.With(i)
 		}
 	}
-	w.forCn, w.atNc, w.vwc, w.valid = l.cn, c.nc, vc, true
+	w.forCn, w.atNc, w.vwc, w.valid = l.cn, s.nc, vc, true
 	return vc
 }

@@ -5,59 +5,74 @@ import (
 	"strings"
 )
 
-// Dump renders the cache's structure — the hash table occupancy and the
-// 64 eviction window chains — as text, the runnable counterpart of the
-// paper's Figure 2. maxLines bounds the output (0 = a sensible default).
+// Dump renders the cache's structure — the hash table occupancy, the
+// per-shard entry spread, and the 64 eviction window chains — as text,
+// the runnable counterpart of the paper's Figure 2. Table and window
+// figures are aggregated across every shard. maxLines bounds the output
+// (0 = a sensible default).
 func (c *Cache) Dump(maxLines int) string {
 	if maxLines <= 0 {
 		maxLines = 40
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 
 	var b strings.Builder
+	var buckets, count int64
 	occupied, hidden := 0, 0
 	maxChain := 0
-	for _, head := range c.table {
-		n := 0
-		for l := head; l != nil; l = l.hnext {
-			if l.keyLen > 0 {
-				n++
-			} else {
-				hidden++
+	var lens [Windows]int
+	shardEntries := make([]int64, len(c.shards))
+	for si, s := range c.shards {
+		s.mu.Lock()
+		buckets += int64(len(s.table))
+		for _, head := range s.table {
+			n := 0
+			for l := head; l != nil; l = l.hnext {
+				if l.keyLen > 0 {
+					n++
+				} else {
+					hidden++
+				}
+			}
+			if n > 0 {
+				occupied++
+			}
+			if n > maxChain {
+				maxChain = n
 			}
 		}
-		if n > 0 {
-			occupied++
+		for w := 0; w < Windows; w++ {
+			for l := s.windows[w]; l != nil; l = l.wnext {
+				lens[w]++
+			}
 		}
-		if n > maxChain {
-			maxChain = n
-		}
+		cnt := s.count.Load()
+		shardEntries[si] = cnt
+		count += cnt
+		s.mu.Unlock()
 	}
-	fmt.Fprintf(&b, "hash table: %d buckets (Fibonacci=%v), %d entries, %d occupied (%.1f%%), max chain %d, %d hidden awaiting sweep\n",
-		len(c.table), c.cfg.Sizing == SizingFibonacci, c.count, occupied,
-		100*float64(occupied)/float64(len(c.table)), maxChain, hidden)
+	tw := c.tw.Load()
+
+	fmt.Fprintf(&b, "hash table: %d buckets (Fibonacci=%v) over %d shards, %d entries, %d occupied (%.1f%%), max chain %d, %d hidden awaiting sweep\n",
+		buckets, c.cfg.Sizing == SizingFibonacci, len(c.shards), count, occupied,
+		100*float64(occupied)/float64(buckets), maxChain, hidden)
+	fmt.Fprintf(&b, "shard entries:%s\n", dumpShardEntries(shardEntries))
 	fmt.Fprintf(&b, "window clock Tw=%d (window %d), lifetime %v, tick %v\n",
-		c.tw, c.tw%Windows, c.cfg.Lifetime, c.cfg.Lifetime/Windows)
+		tw, tw%Windows, c.cfg.Lifetime, c.cfg.Lifetime/Windows)
 
 	// Histogram of the 64 window chains, the eviction window of Fig. 2.
-	var lens [Windows]int
 	maxLen := 1
 	for w := 0; w < Windows; w++ {
-		for l := c.windows[w]; l != nil; l = l.wnext {
-			lens[w]++
-		}
 		if lens[w] > maxLen {
 			maxLen = lens[w]
 		}
 	}
 	b.WriteString("eviction windows (next to expire marked '*'):\n")
-	lines := maxLines - 3
+	lines := maxLines - 4
 	if lines > Windows {
 		lines = Windows
 	}
 	// Show the windows around the clock position.
-	next := int((c.tw + 1) % Windows)
+	next := int((tw + 1) % Windows)
 	for k := 0; k < lines; k++ {
 		w := (next + k) % Windows
 		bar := strings.Repeat("#", lens[w]*40/maxLen)
@@ -66,6 +81,16 @@ func (c *Cache) Dump(maxLines int) string {
 			mark = "*"
 		}
 		fmt.Fprintf(&b, "%s w%02d |%-40s| %d\n", mark, w, bar, lens[w])
+	}
+	return b.String()
+}
+
+// dumpShardEntries renders per-shard entry counts compactly so stripe
+// skew is visible at a glance.
+func dumpShardEntries(entries []int64) string {
+	var b strings.Builder
+	for _, n := range entries {
+		fmt.Fprintf(&b, " %d", n)
 	}
 	return b.String()
 }

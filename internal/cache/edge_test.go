@@ -71,8 +71,10 @@ func TestRecycledObjectIsClean(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		c.Tick()
 	}
-	// Recycle into a new name.
-	_, v, created := c.Add("/new", bitvec.Of(5), 0)
+	// Recycle into a new name, chosen to land in the freed object's
+	// shard (free lists are per shard).
+	newName := sameShardName(t, c, ref.Shard(), "/new")
+	_, v, created := c.Add(newName, bitvec.Of(5), 0)
 	if !created {
 		t.Fatal("expected creation")
 	}
@@ -82,7 +84,7 @@ func TestRecycledObjectIsClean(t *testing.T) {
 	if !v.Vh.IsEmpty() || !v.Vp.IsEmpty() || v.Vq != bitvec.Of(5) {
 		t.Fatalf("recycled object carried stale vectors: %+v", v)
 	}
-	nref, _, _ := c.Fetch("/new", bitvec.Of(5), 0)
+	nref, _, _ := c.Fetch(newName, bitvec.Of(5), 0)
 	if tok, ok := c.Waiters(nref, false); !ok || tok != 0 {
 		t.Fatalf("recycled object carried a stale waiter token: %d", tok)
 	}

@@ -52,11 +52,16 @@ type Loc struct {
 // validates it (Section III-B1). Refs let callers manipulate a Loc across
 // multiple cache calls without holding locks in between: each call
 // revalidates gen against the object's current generation.
+//
+// A Ref also carries the index of the lock stripe that owns the object,
+// so reference-validated operations go straight to the right shard
+// without rehashing or re-deriving the stripe from the key.
 type Ref struct {
-	obj  *Loc
-	gen  uint64
-	name string
-	hash uint32
+	obj   *Loc
+	gen   uint64
+	name  string
+	hash  uint32
+	shard uint32
 }
 
 // Name returns the file name the reference was created for.
@@ -66,6 +71,10 @@ func (r Ref) Name() string { return r.name }
 // it along so the cache never rehashes a name it has already hashed
 // (the paper's "streamlined" update path).
 func (r Ref) Hash() uint32 { return r.hash }
+
+// Shard returns the index of the lock stripe owning the referenced
+// object. Tests and the obs layer use it to reason about skew.
+func (r Ref) Shard() int { return int(r.shard) }
 
 // Zero reports whether the reference is the zero value (never issued).
 func (r Ref) Zero() bool { return r.obj == nil }

@@ -17,90 +17,116 @@ package cache
 // them — their Ta is not old enough — and moves them to the chain their
 // Ta now belongs to, re-chaining every displaced object in one linear
 // pass.
+//
+// Under lock striping every shard keeps its own 64 window chains; a
+// tick walks the shards one at a time, holding only one shard lock at
+// any moment, and each shard's expiring chain is swept independently.
 
 // Tick advances the window clock by one period and expires the window
-// that has now aged a full lifetime. Hiding happens synchronously (it is
-// a single pass over one chain setting key lengths to zero); physical
-// removal runs in a background goroutine unless cfg.SyncSweep is set.
+// that has now aged a full lifetime in every shard. Hiding happens
+// synchronously (one pass per shard over one chain setting key lengths
+// to zero); physical removal runs in background goroutines (one per
+// shard with a non-empty chain) unless cfg.SyncSweep is set.
 //
 // Tick is exported so tests and benchmarks can drive the clock manually;
 // production daemons call Run, which ticks off the configured clock.
 func (c *Cache) Tick() {
-	c.mu.Lock()
-	c.tw++
-	w := int(c.tw % Windows)
-	// Detach the expiring chain; new adds during the sweep start a fresh
-	// chain for this window index.
-	head := c.windows[w]
-	c.windows[w] = nil
-	cutoff := c.tw // objects with ta + Windows <= tw have aged >= Lt
-	// Hide expired entries now — after this pass none of them can be
-	// found, so the background sweep races with nothing.
-	var hidden int64
-	for l := head; l != nil; l = l.wnext {
-		if l.ta+Windows <= cutoff && l.keyLen > 0 {
-			l.keyLen = 0
-			hidden++
-			c.count--
+	tw := c.tw.Add(1)
+	w := int(tw % Windows)
+	cutoff := tw // objects with ta + Windows <= tw have aged >= Lt
+	var totalHidden int64
+	heads := make([]*Loc, len(c.shards))
+	for si, s := range c.shards {
+		s.mu.Lock()
+		s.tw = tw
+		// Detach the expiring chain; new adds during the sweep start a
+		// fresh chain for this window index.
+		head := s.windows[w]
+		s.windows[w] = nil
+		// Hide expired entries now — after this pass none of them can be
+		// found, so the background sweep races with nothing. The
+		// generation bump happens here too (not just at sweep time):
+		// otherwise a reference-validated Refresh racing into the
+		// hide-to-sweep gap could re-stamp a hidden object's Ta and the
+		// sweep would re-chain an unfindable object forever.
+		var hidden int64
+		for l := head; l != nil; l = l.wnext {
+			if l.ta+Windows <= cutoff && l.keyLen > 0 {
+				l.keyLen = 0
+				l.gen++
+				hidden++
+			}
 		}
+		s.count.Add(-hidden)
+		s.stats.hidden.Add(hidden)
+		s.mu.Unlock()
+		totalHidden += hidden
+		heads[si] = head
 	}
-	c.stats.Hidden += hidden
-	c.mu.Unlock()
 	if c.cfg.OnTick != nil {
-		c.cfg.OnTick(cutoff, hidden)
+		c.cfg.OnTick(tw, totalHidden)
 	}
 
 	if c.cfg.SyncSweep {
-		c.sweep(head, cutoff)
+		for si, head := range heads {
+			if head != nil {
+				c.shards[si].sweep(head, cutoff)
+			}
+		}
 		return
 	}
-	c.sweepWG.Add(1)
-	go func() {
-		defer c.sweepWG.Done()
-		c.sweep(head, cutoff)
-	}()
+	for si, head := range heads {
+		if head == nil {
+			continue
+		}
+		s := c.shards[si]
+		c.sweepWG.Add(1)
+		go func(s *shard, head *Loc) {
+			defer c.sweepWG.Done()
+			s.sweep(head, cutoff)
+		}(s, head)
+	}
 }
 
 // sweep physically removes the hidden objects of a detached window chain
 // and re-chains any object whose Ta was moved by a refresh. It takes the
-// cache lock in bounded batches so look-ups are never blocked for long.
-func (c *Cache) sweep(head *Loc, cutoff uint64) {
+// shard lock in bounded batches so look-ups are never blocked for long.
+func (s *shard) sweep(head *Loc, cutoff uint64) {
 	const batch = 256
 	l := head
 	for l != nil {
-		c.mu.Lock()
+		s.mu.Lock()
 		for n := 0; l != nil && n < batch; n++ {
 			next := l.wnext
 			if l.ta+Windows <= cutoff {
-				// Expired: unlink from its hash bucket, invalidate
-				// references, and recycle the storage.
-				c.unhash(l)
-				l.gen++
+				// Expired: unlink from its hash bucket and recycle the
+				// storage (references were invalidated at hide time).
+				s.unhash(l)
 				l.key = ""
 				l.vh, l.vp, l.vq = 0, 0, 0
 				l.rr, l.rw = 0, 0
 				l.wnext = nil
-				l.hnext = c.free
-				c.free = l
-				c.stats.Swept++
+				l.hnext = s.free
+				s.free = l
+				s.stats.swept.Add(1)
 			} else {
 				// Refreshed since it was chained here: deferred
 				// re-chaining happens now, one pointer splice.
 				nw := int(l.ta % Windows)
-				l.wnext = c.windows[nw]
-				c.windows[nw] = l
-				c.stats.Rechained++
+				l.wnext = s.windows[nw]
+				s.windows[nw] = l
+				s.stats.rechained.Add(1)
 			}
 			l = next
 		}
-		c.mu.Unlock()
+		s.mu.Unlock()
 	}
 }
 
-// unhash unlinks l from its hash bucket. Caller holds c.mu.
-func (c *Cache) unhash(l *Loc) {
-	b := int64(l.hash) % int64(len(c.table))
-	pp := &c.table[b]
+// unhash unlinks l from its hash bucket. Caller holds s.mu.
+func (s *shard) unhash(l *Loc) {
+	b := int64(l.hash) % int64(len(s.table))
+	pp := &s.table[b]
 	for *pp != nil && *pp != l {
 		pp = &(*pp).hnext
 	}
@@ -128,23 +154,24 @@ func (c *Cache) Run(stop <-chan struct{}) {
 }
 
 // WindowLens returns the number of objects currently linked in each of
-// the 64 window chains — the harness uses it to show that each tick
-// touches only ~1/64 of the cache (experiment E7, Figure 2).
+// the 64 window chains, summed across shards — the harness uses it to
+// show that each tick touches only ~1/64 of the cache (experiment E7,
+// Figure 2).
 func (c *Cache) WindowLens() [Windows]int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var out [Windows]int
-	for w := 0; w < Windows; w++ {
-		for l := c.windows[w]; l != nil; l = l.wnext {
-			out[w]++
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for w := 0; w < Windows; w++ {
+			for l := s.windows[w]; l != nil; l = l.wnext {
+				out[w]++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // TickCount returns the absolute window-clock tick counter.
 func (c *Cache) TickCount() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.tw
+	return c.tw.Load()
 }

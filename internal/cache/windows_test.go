@@ -46,16 +46,18 @@ func TestObjectExpiresAfterFullLifetime(t *testing.T) {
 
 func TestStorageReusedNeverFreed(t *testing.T) {
 	c := testCache(vclock.NewFake())
-	c.Add("/old", bitvec.Of(0), 0)
+	ref, _, _ := c.Add("/old", bitvec.Of(0), 0)
 	for i := 0; i < 64; i++ {
 		c.Tick()
 	}
-	// The freed object must satisfy the next allocation.
-	c.Add("/new", bitvec.Of(1), 0)
+	// The freed object must satisfy the next allocation in its shard
+	// (free lists are per shard, so pick a colliding name).
+	newName := sameShardName(t, c, ref.Shard(), "/new")
+	c.Add(newName, bitvec.Of(1), 0)
 	if got := c.Stats().Reused; got != 1 {
 		t.Errorf("Reused = %d, want 1", got)
 	}
-	if _, _, ok := c.Fetch("/new", bitvec.Full, 0); !ok {
+	if _, _, ok := c.Fetch(newName, bitvec.Full, 0); !ok {
 		t.Fatal("recycled object not findable under new name")
 	}
 	if _, _, ok := c.Fetch("/old", bitvec.Full, 0); ok {

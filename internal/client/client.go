@@ -235,7 +235,7 @@ func (cl *Client) exchange(sc *sconn, m proto.Message) ([]byte, error) {
 	go func() {
 		sc.mu.Lock()
 		defer sc.mu.Unlock()
-		err := sc.c.Send(proto.Marshal(m))
+		err := transport.SendMessage(sc.c, m)
 		var frame []byte
 		if err == nil {
 			frame, err = sc.c.Recv()

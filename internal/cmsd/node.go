@@ -301,7 +301,7 @@ func (n *Node) childConn(conn transport.Conn) {
 	}
 	login, ok := msg.(proto.Login)
 	if !ok {
-		conn.Send(proto.Marshal(proto.LoginRej{Reason: "expected login"}))
+		transport.SendMessage(conn, proto.LoginRej{Reason: "expected login"})
 		return
 	}
 	idx, _, err := n.core.Table().Login(cluster.Member{
@@ -311,10 +311,10 @@ func (n *Node) childConn(conn transport.Conn) {
 		Load:     login.Load, Free: login.Free,
 	})
 	if err != nil {
-		conn.Send(proto.Marshal(proto.LoginRej{Reason: err.Error()}))
+		transport.SendMessage(conn, proto.LoginRej{Reason: err.Error()})
 		return
 	}
-	if err := conn.Send(proto.Marshal(proto.LoginOK{Index: uint8(idx)})); err != nil {
+	if err := transport.SendMessage(conn, proto.LoginOK{Index: uint8(idx)}); err != nil {
 		n.core.Table().Disconnect(idx)
 		return
 	}
@@ -378,7 +378,7 @@ func (n *Node) querySender(index int, q proto.Query) bool {
 	if conn == nil {
 		return false
 	}
-	return conn.Send(proto.Marshal(q)) == nil
+	return transport.SendMessage(conn, q) == nil
 }
 
 // pinger probes subordinates for load/liveness and evicts the ones that
@@ -490,7 +490,7 @@ func (n *Node) runParentConn(parent string, conn transport.Conn) bool {
 	}
 	defer n.untrack(conn)
 	defer conn.Close()
-	if err := conn.Send(proto.Marshal(n.loginMsg())); err != nil {
+	if err := transport.SendMessage(conn, n.loginMsg()); err != nil {
 		return false
 	}
 	// The login reply is awaited under a timeout: a dropped LoginOK
@@ -552,7 +552,7 @@ func (n *Node) runParentConn(parent string, conn transport.Conn) bool {
 			if n.data != nil {
 				pong = proto.Pong{Load: n.data.Load(), Free: n.data.Store().Free()}
 			}
-			if err := conn.Send(proto.Marshal(pong)); err != nil {
+			if err := transport.SendMessage(conn, pong); err != nil {
 				return true
 			}
 		}
@@ -570,23 +570,23 @@ func (n *Node) handleQuery(conn transport.Conn, q proto.Query) {
 		switch {
 		case st.HasOnline(q.Path):
 			n.haves.Add(1)
-			conn.Send(proto.Marshal(proto.Have{
+			transport.SendMessage(conn, proto.Have{
 				QID: q.QID, Path: q.Path, Hash: q.Hash,
 				Pending: false, CanWrite: !n.cfg.ReadOnly,
-			}))
+			})
 		case st.Has(q.Path):
 			// In mass storage: begin making it ready and report Vp.
 			st.Stage(q.Path)
 			n.haves.Add(1)
-			conn.Send(proto.Marshal(proto.Have{
+			transport.SendMessage(conn, proto.Have{
 				QID: q.QID, Path: q.Path, Hash: q.Hash,
 				Pending: true, CanWrite: !n.cfg.ReadOnly,
-			}))
+			})
 		default:
 			if n.cfg.RespondAlways {
 				// E10 baseline: explicit negative instead of silence.
 				n.negatives.Add(1)
-				conn.Send(proto.Marshal(proto.HaveNot{QID: q.QID, Path: q.Path, Hash: q.Hash}))
+				transport.SendMessage(conn, proto.HaveNot{QID: q.QID, Path: q.Path, Hash: q.Hash})
 			}
 		}
 		// Silence means "no" (Section III-B).
@@ -599,10 +599,10 @@ func (n *Node) handleQuery(conn transport.Conn, q proto.Query) {
 			out := n.core.Resolve(Request{Path: q.Path, Write: q.Write})
 			if out.Kind == KindRedirect {
 				n.haves.Add(1)
-				conn.Send(proto.Marshal(proto.Have{
+				transport.SendMessage(conn, proto.Have{
 					QID: q.QID, Path: q.Path, Hash: q.Hash,
 					Pending: out.Pending, CanWrite: true,
-				}))
+				})
 			}
 		}()
 	}
@@ -685,7 +685,7 @@ func (n *Node) redirectorConn(conn transport.Conn) {
 		default:
 			reply = proto.Err{Code: proto.EInval, Msg: "unexpected message"}
 		}
-		if err := conn.Send(proto.Marshal(reply)); err != nil {
+		if err := transport.SendMessage(conn, reply); err != nil {
 			return
 		}
 	}

@@ -23,6 +23,10 @@ func (n *Node) Frame() obs.Frame {
 			lf = float64(cs.Entries) / float64(cs.Buckets)
 		}
 		conn := c.Cache().ConnStamps()
+		shardEntries := make([]int64, 0, c.Cache().ShardCount())
+		for _, ss := range c.Cache().ShardStats() {
+			shardEntries = append(shardEntries, ss.Entries)
+		}
 		f.Cache = &obs.CacheSummary{
 			Entries: cs.Entries, Buckets: cs.Buckets, LoadFactor: lf,
 			Inserts: cs.Inserts, Hits: cs.Hits, Misses: cs.Misses,
@@ -31,6 +35,8 @@ func (n *Node) Frame() obs.Frame {
 			Ticks:     c.Cache().TickCount(),
 			Epoch:     c.Cache().Epoch(),
 			Conn:      obs.TrimConn(conn[:]),
+
+			ShardEntries: shardEntries,
 		}
 		qs := c.Queue().Stats()
 		f.RespQ = &obs.RespQSummary{

@@ -120,6 +120,18 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	if sf.V != obs.FrameVersion || sf.Cache == nil || sf.Cache.Entries < 1 {
 		t.Fatalf("statusz frame: %+v", sf)
 	}
+	// Per-shard entry counts surface on /statusz and must re-sum to the
+	// aggregate, so stripe skew is observable.
+	if len(sf.Cache.ShardEntries) == 0 {
+		t.Fatalf("statusz frame missing shard entries: %+v", sf.Cache)
+	}
+	var shardSum int64
+	for _, n := range sf.Cache.ShardEntries {
+		shardSum += n
+	}
+	if shardSum != sf.Cache.Entries {
+		t.Fatalf("shard entries sum %d != entries %d", shardSum, sf.Cache.Entries)
+	}
 	if sf.Cluster == nil || sf.Cluster.Members != 3 || sf.Cluster.Online != 3 {
 		t.Fatalf("statusz cluster: %+v", sf.Cluster)
 	}

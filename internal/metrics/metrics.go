@@ -184,78 +184,69 @@ func (s Snapshot) String() string {
 
 // Registry is a named collection of counters and histograms, used by the
 // daemons' status endpoints and by the bench harness.
+//
+// Look-ups are lock-free after the first registration of a name: the
+// resolve hot path calls Counter/Histogram per request, so the maps are
+// sync.Maps (write-once, read-mostly — exactly their sweet spot) rather
+// than a mutex-guarded map that would serialize every request on one
+// cache line.
 type Registry struct {
-	mu    sync.Mutex
-	ctrs  map[string]*Counter
-	hists map[string]*Histogram
+	ctrs  sync.Map // string → *Counter
+	hists sync.Map // string → *Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{ctrs: map[string]*Counter{}, hists: map[string]*Histogram{}}
+	return &Registry{}
 }
 
 // Counter returns (creating if needed) the counter with the given name.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c, ok := r.ctrs[name]
-	if !ok {
-		c = &Counter{}
-		r.ctrs[name] = c
+	if c, ok := r.ctrs.Load(name); ok {
+		return c.(*Counter)
 	}
-	return c
+	c, _ := r.ctrs.LoadOrStore(name, &Counter{})
+	return c.(*Counter)
 }
 
 // Histogram returns (creating if needed) the histogram with the given name.
 func (r *Registry) Histogram(name string) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h, ok := r.hists[name]
-	if !ok {
-		h = &Histogram{}
-		r.hists[name] = h
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram)
 	}
-	return h
+	h, _ := r.hists.LoadOrStore(name, &Histogram{})
+	return h.(*Histogram)
 }
 
 // Visit calls fc for every counter and fh for every histogram, in
-// unspecified order. Either callback may be nil. The registry lock is
-// not held during the calls, so callbacks may use the registry freely.
+// unspecified order. Either callback may be nil. No lock is held during
+// the calls, so callbacks may use the registry freely.
 func (r *Registry) Visit(fc func(name string, c *Counter), fh func(name string, h *Histogram)) {
-	r.mu.Lock()
-	ctrs := make(map[string]*Counter, len(r.ctrs))
-	for n, c := range r.ctrs {
-		ctrs[n] = c
-	}
-	hists := make(map[string]*Histogram, len(r.hists))
-	for n, h := range r.hists {
-		hists[n] = h
-	}
-	r.mu.Unlock()
 	if fc != nil {
-		for n, c := range ctrs {
-			fc(n, c)
-		}
+		r.ctrs.Range(func(k, v any) bool {
+			fc(k.(string), v.(*Counter))
+			return true
+		})
 	}
 	if fh != nil {
-		for n, h := range hists {
-			fh(n, h)
-		}
+		r.hists.Range(func(k, v any) bool {
+			fh(k.(string), v.(*Histogram))
+			return true
+		})
 	}
 }
 
 // Dump renders all metrics, sorted by name, one per line.
 func (r *Registry) Dump() string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var lines []string
-	for name, c := range r.ctrs {
-		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
-	}
-	for name, h := range r.hists {
-		lines = append(lines, fmt.Sprintf("hist    %s : %s", name, h.Snapshot()))
-	}
+	r.Visit(
+		func(name string, c *Counter) {
+			lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
+		},
+		func(name string, h *Histogram) {
+			lines = append(lines, fmt.Sprintf("hist    %s : %s", name, h.Snapshot()))
+		},
+	)
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")
 }

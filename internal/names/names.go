@@ -10,12 +10,20 @@ package names
 import (
 	"hash/crc32"
 	"strings"
+	"unsafe"
 )
 
 // Hash returns the CRC32 (IEEE) key for a file name, exactly the keying
 // the paper prescribes for the location hash table.
+//
+// The string's bytes are passed to the checksum without copying: a
+// []byte(name) conversion would allocate on every cache look-up, and
+// crc32 neither mutates nor retains its input, so the aliasing is safe.
 func Hash(name string) uint32 {
-	return crc32.ChecksumIEEE([]byte(name))
+	if len(name) == 0 {
+		return crc32.ChecksumIEEE(nil)
+	}
+	return crc32.ChecksumIEEE(unsafe.Slice(unsafe.StringData(name), len(name)))
 }
 
 // Clean normalizes a path for prefix matching: it guarantees a single

@@ -101,7 +101,7 @@ func listOne(net transport.Network, addr, prefix string) ([]proto.Entry, error) 
 		return nil, err
 	}
 	defer c.Close()
-	if err := c.Send(proto.Marshal(proto.List{Prefix: prefix})); err != nil {
+	if err := transport.SendMessage(c, proto.List{Prefix: prefix}); err != nil {
 		return nil, err
 	}
 	frame, err := c.Recv()
@@ -172,7 +172,7 @@ func (d *Daemon) serveConn(c transport.Conn) {
 		default:
 			reply = proto.Err{Code: proto.EInval, Msg: "nsd: expected list"}
 		}
-		if err := c.Send(proto.Marshal(reply)); err != nil {
+		if err := transport.SendMessage(c, reply); err != nil {
 			return
 		}
 	}

@@ -49,6 +49,10 @@ type CacheSummary struct {
 	// Conn is the per-subordinate connect stamps C[i] (paper Section
 	// III-A4), trimmed of trailing zeros to keep frames small.
 	Conn []uint64 `json:"c,omitempty"`
+	// ShardEntries is the live entry count per lock stripe of the
+	// sharded cache, so stripe skew is visible from the stream and
+	// /statusz.
+	ShardEntries []int64 `json:"shard_entries,omitempty"`
 }
 
 // RespQSummary summarizes the fast response queue (Section III-B).

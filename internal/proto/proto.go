@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Kind identifies a message type on the wire.
@@ -61,12 +62,14 @@ const (
 // Role is a node's position in the 64-ary tree.
 type Role uint8
 
+// Node roles, leaf to root of the B-64 tree.
 const (
 	RoleServer Role = iota + 1
 	RoleSupervisor
 	RoleManager
 )
 
+// String returns the role's lowercase wire name.
 func (r Role) String() string {
 	switch r {
 	case RoleServer:
@@ -109,6 +112,7 @@ type Login struct {
 	Load     uint32 // load estimate, for selection
 }
 
+// Kind implements Message.
 func (Login) Kind() Kind { return KLogin }
 
 // LoginOK acknowledges a Login and tells the subordinate its index in
@@ -117,6 +121,7 @@ type LoginOK struct {
 	Index uint8
 }
 
+// Kind implements Message.
 func (LoginOK) Kind() Kind { return KLoginOK }
 
 // LoginRej refuses a Login (set full, duplicate name, bad role).
@@ -124,6 +129,7 @@ type LoginRej struct {
 	Reason string
 }
 
+// Kind implements Message.
 func (LoginRej) Kind() Kind { return KLoginRej }
 
 // Query asks a subordinate whether it has a file. Subordinates answer
@@ -135,6 +141,7 @@ type Query struct {
 	Write bool   // access mode the client wants
 }
 
+// Kind implements Message.
 func (Query) Kind() Kind { return KQuery }
 
 // Have is the positive answer to a Query: the sender has the file
@@ -147,6 +154,7 @@ type Have struct {
 	CanWrite bool
 }
 
+// Kind implements Message.
 func (Have) Kind() Kind { return KHave }
 
 // HaveNot is the explicit negative answer used ONLY by the
@@ -158,11 +166,13 @@ type HaveNot struct {
 	Hash uint32
 }
 
+// Kind implements Message.
 func (HaveNot) Kind() Kind { return KHaveNot }
 
 // Ping solicits a Pong; it doubles as the liveness probe.
 type Ping struct{}
 
+// Kind implements Message.
 func (Ping) Kind() Kind { return KPing }
 
 // Pong reports current load and free space for server selection.
@@ -171,6 +181,7 @@ type Pong struct {
 	Free int64
 }
 
+// Kind implements Message.
 func (Pong) Kind() Kind { return KPong }
 
 // -------------------------------------------------------------- data --
@@ -186,6 +197,7 @@ type Locate struct {
 	Avoid   string
 }
 
+// Kind implements Message.
 func (Locate) Kind() Kind { return KLocate }
 
 // Redirect vectors the client at a subordinate node.
@@ -195,6 +207,7 @@ type Redirect struct {
 	Pending bool   // target is staging the file; expect a wait there
 }
 
+// Kind implements Message.
 func (Redirect) Kind() Kind { return KRedirect }
 
 // Wait tells the client to pause and retry the same request.
@@ -202,6 +215,7 @@ type Wait struct {
 	Millis uint32
 }
 
+// Kind implements Message.
 func (Wait) Kind() Kind { return KWait }
 
 // Err reports failure of the preceding request.
@@ -210,6 +224,7 @@ type Err struct {
 	Msg  string
 }
 
+// Kind implements Message.
 func (Err) Kind() Kind { return KErr }
 
 // Open opens a file on a data server.
@@ -219,6 +234,7 @@ type Open struct {
 	Create bool
 }
 
+// Kind implements Message.
 func (Open) Kind() Kind { return KOpen }
 
 // OpenOK returns the file handle for subsequent I/O.
@@ -227,6 +243,7 @@ type OpenOK struct {
 	Size int64
 }
 
+// Kind implements Message.
 func (OpenOK) Kind() Kind { return KOpenOK }
 
 // Read requests N bytes at Off.
@@ -236,6 +253,7 @@ type Read struct {
 	N   uint32
 }
 
+// Kind implements Message.
 func (Read) Kind() Kind { return KRead }
 
 // Data answers a Read. EOF marks the end of file.
@@ -245,6 +263,7 @@ type Data struct {
 	EOF   bool
 }
 
+// Kind implements Message.
 func (Data) Kind() Kind { return KData }
 
 // Write writes bytes at Off.
@@ -254,6 +273,7 @@ type Write struct {
 	Bytes []byte
 }
 
+// Kind implements Message.
 func (Write) Kind() Kind { return KWrite }
 
 // WriteOK acknowledges a Write.
@@ -262,6 +282,7 @@ type WriteOK struct {
 	N  uint32
 }
 
+// Kind implements Message.
 func (WriteOK) Kind() Kind { return KWriteOK }
 
 // Close releases a file handle.
@@ -269,6 +290,7 @@ type Close struct {
 	FH uint64
 }
 
+// Kind implements Message.
 func (Close) Kind() Kind { return KClose }
 
 // CloseOK acknowledges a Close.
@@ -276,6 +298,7 @@ type CloseOK struct {
 	FH uint64
 }
 
+// Kind implements Message.
 func (CloseOK) Kind() Kind { return KCloseOK }
 
 // Stat queries file metadata.
@@ -283,6 +306,7 @@ type Stat struct {
 	Path string
 }
 
+// Kind implements Message.
 func (Stat) Kind() Kind { return KStat }
 
 // StatOK answers a Stat.
@@ -292,6 +316,7 @@ type StatOK struct {
 	Online bool // false while the file sits only in mass storage
 }
 
+// Kind implements Message.
 func (StatOK) Kind() Kind { return KStatOK }
 
 // Prepare announces files that will be needed soon, spawning parallel
@@ -301,6 +326,7 @@ type Prepare struct {
 	Write bool
 }
 
+// Kind implements Message.
 func (Prepare) Kind() Kind { return KPrepare }
 
 // PrepareOK acknowledges a Prepare; the work continues asynchronously.
@@ -308,6 +334,7 @@ type PrepareOK struct {
 	Queued uint32
 }
 
+// Kind implements Message.
 func (PrepareOK) Kind() Kind { return KPrepareOK }
 
 // Unlink removes a file.
@@ -315,11 +342,13 @@ type Unlink struct {
 	Path string
 }
 
+// Kind implements Message.
 func (Unlink) Kind() Kind { return KUnlink }
 
 // UnlinkOK acknowledges an Unlink.
 type UnlinkOK struct{}
 
+// Kind implements Message.
 func (UnlinkOK) Kind() Kind { return KUnlinkOK }
 
 // List asks a data server for the files it holds under a prefix. Scalla
@@ -330,6 +359,7 @@ type List struct {
 	Prefix string
 }
 
+// Kind implements Message.
 func (List) Kind() Kind { return KList }
 
 // Entry is one row of a ListOK reply.
@@ -344,6 +374,7 @@ type ListOK struct {
 	Entries []Entry
 }
 
+// Kind implements Message.
 func (ListOK) Kind() Kind { return KListOK }
 
 // Trunc resizes an open file.
@@ -352,6 +383,7 @@ type Trunc struct {
 	Size int64
 }
 
+// Kind implements Message.
 func (Trunc) Kind() Kind { return KTrunc }
 
 // TruncOK acknowledges a Trunc.
@@ -359,6 +391,7 @@ type TruncOK struct {
 	FH uint64
 }
 
+// Kind implements Message.
 func (TruncOK) Kind() Kind { return KTruncOK }
 
 // ---------------------------------------------------------- encoding --
@@ -460,9 +493,58 @@ func (r *reader) strs() []string {
 	return out
 }
 
-// Marshal encodes m into a frame.
+// Marshal encodes m into a freshly allocated frame. Hot paths that send
+// the frame immediately should prefer MarshalFrame, which recycles its
+// buffer through a pool.
 func Marshal(m Message) []byte {
-	w := writer{b: make([]byte, 0, 64)}
+	return appendMessage(make([]byte, 0, 64), m)
+}
+
+// maxPooledFrame bounds the capacity of buffers kept in the frame pool
+// so a single giant Data frame cannot pin memory forever.
+const maxPooledFrame = 64 << 10
+
+// framePool recycles Frame buffers between MarshalFrame and Release.
+var framePool = sync.Pool{
+	New: func() any { return &Frame{b: make([]byte, 0, 256)} },
+}
+
+// Frame is a pooled buffer holding one marshaled message.
+//
+// Ownership rule: the goroutine that called MarshalFrame owns the frame
+// until it calls Release, after which the bytes must not be touched.
+// Releasing after transport.Conn.Send returns is safe: every transport
+// either writes the frame out synchronously or copies it before
+// retaining it (see DESIGN.md, "Concurrency model").
+type Frame struct {
+	b []byte
+}
+
+// Bytes returns the frame's encoded bytes. The slice is only valid
+// until Release is called.
+func (f *Frame) Bytes() []byte { return f.b }
+
+// Release returns the frame's buffer to the pool. The Frame and the
+// slice returned by Bytes must not be used afterwards.
+func (f *Frame) Release() {
+	if cap(f.b) > maxPooledFrame {
+		return
+	}
+	framePool.Put(f)
+}
+
+// MarshalFrame encodes m into a pooled frame; the caller must call
+// Release on the result once the bytes have been handed to a transport.
+func MarshalFrame(m Message) *Frame {
+	f := framePool.Get().(*Frame)
+	f.b = appendMessage(f.b[:0], m)
+	return f
+}
+
+// appendMessage appends m's frame encoding to buf and returns the
+// extended slice.
+func appendMessage(buf []byte, m Message) []byte {
+	w := writer{b: buf}
 	w.u8(uint8(m.Kind()))
 	switch v := m.(type) {
 	case Login:

@@ -1,0 +1,21 @@
+package transport
+
+import "scalla/internal/proto"
+
+// SendMessage marshals m through the pooled wire-buffer path, sends the
+// frame on c, and releases the buffer back to the pool. It is the one
+// release point for frames that are encoded and sent in the same call —
+// the common shape on every cmsd/xrd hot path.
+//
+// Releasing after Send returns is safe under the transport ownership
+// rule (DESIGN.md, "Concurrency model"): a Conn implementation must
+// either write the frame out before Send returns or copy it before
+// retaining it. The TCP conn writes synchronously, the in-process conn
+// copies into the peer's queue, and the fault-injecting wrapper copies
+// before any delayed/reordered delivery.
+func SendMessage(c Conn, m proto.Message) error {
+	f := proto.MarshalFrame(m)
+	err := c.Send(f.Bytes())
+	f.Release()
+	return err
+}

@@ -38,7 +38,11 @@ var ErrClosed = errors.New("transport: closed")
 // each safe for one concurrent caller; distinct goroutines may send and
 // receive simultaneously.
 type Conn interface {
-	// Send transmits one frame.
+	// Send transmits one frame. Send must finish with the frame slice
+	// before returning (write it out or copy it): callers such as
+	// SendMessage recycle the buffer into a pool the moment Send
+	// returns. An implementation that retains frames asynchronously
+	// must copy them first.
 	Send(frame []byte) error
 	// Recv blocks for the next frame. It returns io.EOF after the peer
 	// closes.

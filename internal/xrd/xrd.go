@@ -158,7 +158,7 @@ func (s *Server) handleConn(conn transport.Conn) {
 		if reply == nil {
 			continue
 		}
-		if err := conn.Send(proto.Marshal(reply)); err != nil {
+		if err := transport.SendMessage(conn, reply); err != nil {
 			return
 		}
 	}
