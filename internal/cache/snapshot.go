@@ -1,0 +1,51 @@
+package cache
+
+import (
+	"time"
+
+	"scalla/internal/bitvec"
+)
+
+// Entry is a point-in-time copy of one findable location object, as
+// returned by Entries. It exposes the raw vectors (unmasked by Vm and
+// uncorrected — exactly the stored state) so invariant checkers can
+// verify what the cache itself maintains, most importantly the paper's
+// Vq ∩ (Vh ∪ Vp) = ∅ disjointness.
+type Entry struct {
+	Name     string
+	Hash     uint32
+	Vh       bitvec.Vec
+	Vp       bitvec.Vec
+	Vq       bitvec.Vec
+	Deadline time.Time
+	// ReadTok and WriteTok are the fast-response-queue tokens currently
+	// associated with the object (the paper's R_r/R_w; 0 = none).
+	ReadTok  uint64
+	WriteTok uint64
+}
+
+// Entries returns a snapshot of every findable object in deterministic
+// (shard, bucket, chain) order. It takes each shard lock once, so it is
+// not for hot paths; the deterministic simulation harness runs it after
+// every scheduler step to check the paper's invariants.
+func (c *Cache) Entries() []Entry {
+	var out []Entry
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, head := range s.table {
+			for l := head; l != nil; l = l.hnext {
+				if l.keyLen == 0 {
+					continue // hidden, awaiting sweep
+				}
+				out = append(out, Entry{
+					Name: l.key, Hash: l.hash,
+					Vh: l.vh, Vp: l.vp, Vq: l.vq,
+					Deadline: l.deadline,
+					ReadTok:  l.rr, WriteTok: l.rw,
+				})
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

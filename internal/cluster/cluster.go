@@ -202,28 +202,48 @@ func (t *Table) freeSlot() int {
 // Disconnect marks member index offline and arms the drop timer. If the
 // member does not log back in within DropDelay it is dropped.
 func (t *Table) Disconnect(index int) {
-	if index < 0 || index >= 64 {
+	gen, ok := t.DisconnectManual(index)
+	if !ok {
 		return
-	}
-	t.mu.Lock()
-	s := &t.slots[index]
-	if !s.used || !s.online {
-		t.mu.Unlock()
-		return
-	}
-	s.online = false
-	s.connGen++
-	gen := s.connGen
-	t.mu.Unlock()
-
-	if t.cfg.OnOffline != nil {
-		t.cfg.OnOffline(index)
 	}
 	go func() {
 		t.cfg.Clock.Sleep(t.cfg.DropDelay)
 		t.maybeDrop(index, gen)
 	}()
 }
+
+// DisconnectManual marks member index offline exactly like Disconnect
+// but arms no drop timer; the returned connection generation is passed
+// to MaybeDrop when the embedder decides DropDelay has elapsed. ok=false
+// means the member was not online and nothing changed. The deterministic
+// harness uses this pair so the drop decision is a scheduler event
+// rather than a background sleep.
+func (t *Table) DisconnectManual(index int) (gen uint64, ok bool) {
+	if index < 0 || index >= 64 {
+		return 0, false
+	}
+	t.mu.Lock()
+	s := &t.slots[index]
+	if !s.used || !s.online {
+		t.mu.Unlock()
+		return 0, false
+	}
+	s.online = false
+	s.connGen++
+	gen = s.connGen
+	t.mu.Unlock()
+
+	if t.cfg.OnOffline != nil {
+		t.cfg.OnOffline(index)
+	}
+	return gen, true
+}
+
+// MaybeDrop drops member index if it is still offline and its state has
+// not changed since gen was observed — the manual counterpart of the
+// timer Disconnect arms. A reconnection (or a drop by other means)
+// bumps the generation and voids the pending drop.
+func (t *Table) MaybeDrop(index int, gen uint64) { t.maybeDrop(index, gen) }
 
 // maybeDrop drops the member if its state has not changed since the
 // timer was armed.

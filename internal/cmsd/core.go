@@ -6,6 +6,7 @@ package cmsd
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,19 @@ type Config struct {
 	// switched on at runtime (via /tracez) without reconfiguring. While
 	// disabled the resolve path pays one atomic load per request.
 	Tracer *obs.Tracer
+	// Manual suppresses the background machinery: NewCore starts neither
+	// the fast-response thread nor the eviction clock, and the embedder
+	// drives both explicitly (Queue().ExpireNow, Cache().Tick). The
+	// deterministic simulation harness (internal/detsim) sets it so that
+	// every timer firing is a scheduler decision rather than a goroutine
+	// race.
+	Manual bool
+	// OnAwait, if set, is invoked on the resolving goroutine immediately
+	// before it blocks on the fast response queue. The deterministic
+	// harness uses it as the park handshake: the scheduler knows the
+	// resolution has reached its single blocking point and can safely
+	// take the next scheduling decision.
+	OnAwait func()
 }
 
 func (c Config) withDefaults() Config {
@@ -141,7 +155,8 @@ type inflightFlood struct {
 }
 
 // NewCore builds a Core and starts its background machinery (response
-// thread and eviction clock). Call Close when done.
+// thread and eviction clock) unless cfg.Manual is set. Call Close when
+// done.
 func NewCore(cfg Config) *Core {
 	cfg = cfg.withDefaults()
 	if cfg.Tracer == nil {
@@ -198,8 +213,10 @@ func NewCore(cfg Config) *Core {
 	c.queue = respq.New(cfg.Queue)
 	c.table = cluster.New(cfg.Cluster)
 
-	go c.queue.Run(c.stop)
-	go c.cache.Run(c.stop)
+	if !cfg.Manual {
+		go c.queue.Run(c.stop)
+		go c.cache.Run(c.stop)
+	}
 	return c
 }
 
@@ -389,9 +406,22 @@ func (c *Core) notFound(path string, vm bitvec.Vec, req Request, sp *obs.Span) O
 		return Outcome{Kind: KindNoEnt}
 	}
 	// Optimistically record the impending location so the next client
-	// finds it without a full delay.
+	// finds it without a full delay. The update detaches any
+	// fast-response tokens from the object, so the waiters behind them —
+	// clients that deferred moments before the deadline lapsed — must be
+	// released at the creation target here. Dropping the result instead
+	// left them parked until guard-window expiry, paying the full delay
+	// the optimistic record exists to avoid (found by the detsim sweep;
+	// see TestCreateReleasesParkedWaiters).
 	sp.Event("create", m.DataAddr)
-	c.cache.Update(path, names.Hash(path), idx, false, true)
+	if res, ok := c.cache.Update(path, names.Hash(path), idx, false, true); ok {
+		if res.ReadWaiters != 0 {
+			c.queue.Release(res.ReadWaiters, idx, false)
+		}
+		if res.WriteWaiters != 0 {
+			c.queue.Release(res.WriteWaiters, idx, false)
+		}
+	}
 	return Outcome{Kind: KindRedirect, Index: idx, Addr: m.DataAddr, CtlAddr: ctlIfRedirector(m)}
 }
 
@@ -481,6 +511,9 @@ func (c *Core) parkAndWait(ref cache.Ref, write bool, avoid int, sp *obs.Span) O
 // response from it lands mid-refresh) is answered with a wait instead —
 // the client must never be re-vectored at the host it just reported.
 func (c *Core) await(ch chan respq.Result, avoid int, sp *obs.Span) Outcome {
+	if c.cfg.OnAwait != nil {
+		c.cfg.OnAwait()
+	}
 	select {
 	case r := <-ch:
 		if r.Expired {
@@ -555,21 +588,37 @@ func (c *Core) noteFlood(qid uint64, path string, write bool, queried bitvec.Vec
 func (c *Core) MemberDown(index int) {
 	now := c.cfg.Clock.Now()
 	c.inflightMu.Lock()
-	var hit []inflightFlood
+	var hit []qidFlood
 	for id, f := range c.inflight {
 		if now.After(f.deadline) {
 			delete(c.inflight, id)
 			continue
 		}
 		if f.queried.Has(index) {
-			hit = append(hit, f)
+			hit = append(hit, qidFlood{id, f})
 			delete(c.inflight, id)
 		}
 	}
 	c.inflightMu.Unlock()
-	for _, f := range hit {
-		c.reflood(f, index, "member.down")
+	refloodOrdered(hit)
+	for _, qf := range hit {
+		c.reflood(qf.f, index, "member.down")
 	}
+}
+
+// qidFlood pairs an inflight flood with its query ID so the re-flood
+// passes can order their work deterministically.
+type qidFlood struct {
+	qid uint64
+	f   inflightFlood
+}
+
+// refloodOrdered sorts re-flood work by query ID. Go's map iteration
+// order would otherwise make the re-broadcast sequence — and with it the
+// selection and RNG draw order downstream — differ from run to run,
+// which the deterministic harness's replay guarantee cannot tolerate.
+func refloodOrdered(hit []qidFlood) {
+	sort.Slice(hit, func(i, j int) bool { return hit[i].qid < hit[j].qid })
 }
 
 // MemberUp reacts to subordinate index (re)joining while floods are in
@@ -583,18 +632,45 @@ func (c *Core) MemberDown(index int) {
 func (c *Core) MemberUp(index int) {
 	now := c.cfg.Clock.Now()
 	c.inflightMu.Lock()
-	var hit []inflightFlood
+	var hit []qidFlood
 	for id, f := range c.inflight {
 		delete(c.inflight, id)
 		if now.After(f.deadline) {
 			continue
 		}
-		hit = append(hit, f)
+		hit = append(hit, qidFlood{id, f})
 	}
 	c.inflightMu.Unlock()
-	for _, f := range hit {
-		c.reflood(f, index, "member.up")
+	refloodOrdered(hit)
+	for _, qf := range hit {
+		c.reflood(qf.f, index, "member.up")
 	}
+}
+
+// FloodInfo describes one outstanding query broadcast for invariant
+// checking: the deterministic harness asserts that at most one live
+// flood exists per path inside the processing deadline.
+type FloodInfo struct {
+	QID      uint64
+	Path     string
+	Write    bool
+	Queried  bitvec.Vec
+	Deadline time.Time
+}
+
+// InflightFloods returns a snapshot of the outstanding query broadcasts,
+// sorted by QID. Entries whose deadline has already passed may linger
+// until the next flood prunes them; callers filter by Deadline.
+func (c *Core) InflightFloods() []FloodInfo {
+	c.inflightMu.Lock()
+	out := make([]FloodInfo, 0, len(c.inflight))
+	for id, f := range c.inflight {
+		out = append(out, FloodInfo{QID: id, Path: f.path, Write: f.write,
+			Queried: f.queried, Deadline: f.deadline})
+	}
+	c.inflightMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].QID < out[j].QID })
+	return out
 }
 
 // reflood re-broadcasts one interrupted query flood.
@@ -618,8 +694,10 @@ func (c *Core) reflood(f inflightFlood, index int, why string) {
 
 // HandleHave processes a positive response from subordinate index: it
 // updates the cache (names and hash are passed straight through, no
-// rehash) and releases any fast-response waiters (Section III-B1).
-func (c *Core) HandleHave(index int, h proto.Have) {
+// rehash) and releases any fast-response waiters (Section III-B1). It
+// returns the number of waiters released, which the deterministic
+// harness uses to collect exactly that many resolution completions.
+func (c *Core) HandleHave(index int, h proto.Have) int {
 	c.reg.Counter("resolve.haves").Inc()
 	if h.QID != 0 {
 		// The flood got an answer; MemberDown need not re-issue it.
@@ -631,15 +709,17 @@ func (c *Core) HandleHave(index int, h proto.Have) {
 	res, ok := c.cache.Update(h.Path, h.Hash, index, h.Pending, h.CanWrite)
 	if !ok {
 		sp.End("dropped (name not cached)")
-		return // response for an evicted or unknown name; drop
+		return 0 // response for an evicted or unknown name; drop
 	}
 	defer sp.End(fmt.Sprintf("server %d pending=%v", index, h.Pending))
+	released := 0
 	if res.ReadWaiters != 0 {
-		c.queue.Release(res.ReadWaiters, index, h.Pending)
+		released += c.queue.Release(res.ReadWaiters, index, h.Pending)
 	}
 	if res.WriteWaiters != 0 {
-		c.queue.Release(res.WriteWaiters, index, h.Pending)
+		released += c.queue.Release(res.WriteWaiters, index, h.Pending)
 	}
+	return released
 }
 
 // Prepare spawns a background resolution per path (Section III-B2).

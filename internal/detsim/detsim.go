@@ -1,0 +1,191 @@
+// Package detsim is a deterministic in-process cluster simulation
+// harness: it wires a real cmsd resolution core, real location cache,
+// fast response queue, membership table and per-server stores over a
+// scheduler-owned transport (transport.SchedConn), drives everything
+// from a single vclock.Fake, and model-checks the paper's invariants
+// after every scheduler step.
+//
+// One seeded rand.Rand owns every choice the real system would make
+// nondeterministically — frame latency, fault injection, client think
+// time, crash timing — and a discrete-event loop owns every delivery
+// and timer firing. At any moment exactly one goroutine runs: the
+// scheduler, one stepped client resolution, or one hand-shaken server
+// process. A seed therefore fully determines the execution, and the
+// obs.TraceHash over the event trace is the replay assertion: same
+// seed, same hash, byte for byte (DESIGN.md §7).
+//
+// The invariants checked after each step:
+//
+//  1. Vector disjointness: for every cached location object,
+//     Vq ∩ (Vh ∪ Vp) = ∅ and Vh ∩ Vp = ∅.
+//  2. Flood uniqueness: at most one live query flood per path inside
+//     the processing deadline (client-forced refreshes excepted — a
+//     refresh deliberately re-floods while an earlier flood may still
+//     be outstanding).
+//  3. Fast-queue conservation, in entries (Entries = Released +
+//     Expired + InUse) and in waiters (Entries + Joins =
+//     ReleasedWaiters + ExpiredWaiters + parked clients).
+//  4. Exactly-once waiter delivery: every release/expiry hands the
+//     result to exactly the parked clients it claims to, which the
+//     scheduler verifies by collecting exactly that many resolution
+//     completions before taking another step.
+//  5. Eventual resolution: every client operation completes within a
+//     configurable bound, and no client is left parked when the event
+//     queue drains.
+//
+// Redirect outcomes are additionally validated against a ground-truth
+// file model: a redirect must name an online member that actually
+// holds (or is staging) the file. In strict runs — no fault plan, no
+// crashes — a noent for a file the model knows to exist is also a
+// violation.
+package detsim
+
+import (
+	"io"
+	"time"
+
+	"scalla/internal/faults"
+)
+
+// Config parameterizes one simulated run. The zero value of every
+// field gets a sensible default; Seed selects the execution.
+type Config struct {
+	// Seed fully determines the run.
+	Seed int64
+
+	// Servers is the number of data servers (max 16, the flood fan-out
+	// of one supervisor in the paper). Default 4.
+	Servers int
+	// Clients is the number of concurrent client processes. Default 4.
+	Clients int
+	// OpsPerClient is how many operations each client performs.
+	// Default 6.
+	OpsPerClient int
+	// Paths is the size of the pre-loaded namespace clients read from.
+	// Default 12.
+	Paths int
+	// Slots sizes the fast response queue. Default 64.
+	Slots int
+
+	// MinLatency and MaxLatency bound the one-way frame latency drawn
+	// per delivery. Defaults 1 ms and 15 ms.
+	MinLatency time.Duration
+	MaxLatency time.Duration
+
+	// Plan, when active, injects frame faults (drop/dup/delay/reorder)
+	// using the scheduler's RNG. Reordering is modeled as an extra
+	// latency draw, which displaces the frame past later traffic.
+	Plan faults.Plan
+	// Crashes is how many server crash/restart cycles to schedule.
+	Crashes int
+	// RestartDelay is how long a crashed server stays down. Default 10 s.
+	RestartDelay time.Duration
+
+	// FullDelay is the paper's full delay (and processing deadline).
+	// Default 5 s.
+	FullDelay time.Duration
+	// Period is the fast-response clock period. Default 133 ms.
+	Period time.Duration
+	// Lifetime is the location-object lifetime (shrunk so window ticks
+	// actually happen inside a run). Default 1 minute.
+	Lifetime time.Duration
+	// DropDelay is the grace between a member going offline and its
+	// slot being dropped. Default 30 s.
+	DropDelay time.Duration
+
+	// MaxOpTime bounds one client operation end to end; exceeding it is
+	// an eventual-resolution violation. Default 2 minutes.
+	MaxOpTime time.Duration
+	// MaxSimTime bounds the simulated clock; events past it are not
+	// executed and unfinished clients are reported as stalled.
+	// Default 10 minutes.
+	MaxSimTime time.Duration
+
+	// Debug, when non-nil, receives every trace line as it is hashed.
+	Debug io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Servers <= 0 {
+		c.Servers = 4
+	}
+	if c.Servers > 16 {
+		c.Servers = 16
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.OpsPerClient <= 0 {
+		c.OpsPerClient = 6
+	}
+	if c.Paths <= 0 {
+		c.Paths = 12
+	}
+	if c.Slots <= 0 {
+		c.Slots = 64
+	}
+	if c.MinLatency <= 0 {
+		c.MinLatency = time.Millisecond
+	}
+	if c.MaxLatency <= 0 {
+		c.MaxLatency = 15 * time.Millisecond
+	}
+	if c.MaxLatency < c.MinLatency {
+		c.MaxLatency = c.MinLatency
+	}
+	if c.RestartDelay <= 0 {
+		c.RestartDelay = 10 * time.Second
+	}
+	if c.FullDelay <= 0 {
+		c.FullDelay = 5 * time.Second
+	}
+	if c.Period <= 0 {
+		c.Period = 133 * time.Millisecond
+	}
+	if c.Lifetime <= 0 {
+		c.Lifetime = time.Minute
+	}
+	if c.DropDelay <= 0 {
+		c.DropDelay = 30 * time.Second
+	}
+	if c.MaxOpTime <= 0 {
+		c.MaxOpTime = 2 * time.Minute
+	}
+	if c.MaxSimTime <= 0 {
+		c.MaxSimTime = 10 * time.Minute
+	}
+	return c
+}
+
+// strict reports whether the run is fault-free and crash-free, which
+// arms the stronger invariants (no spurious noent, prompt resolution).
+func (c Config) strict() bool {
+	return !c.Plan.Active() && c.Crashes == 0
+}
+
+// Result summarizes one run.
+type Result struct {
+	Seed  int64
+	Hash  string // trace digest; the replay assertion
+	Lines int    // trace lines hashed
+	Steps int    // scheduler steps executed
+
+	Ops       int // client operations completed
+	Redirects int
+	Waits     int
+	NoEnts    int
+	Retries   int
+	Crashed   int // crash events that took a server down
+	Staged    int // staging promotions
+
+	// Violations holds every invariant violation observed, in the
+	// deterministic order the scheduler found them. Empty means the
+	// run model-checked clean.
+	Violations []string
+}
+
+// Run executes one simulation to completion and returns its summary.
+func Run(cfg Config) Result {
+	s := newSim(cfg.withDefaults())
+	return s.run()
+}

@@ -1,0 +1,57 @@
+package detsim
+
+// checkInvariants model-checks the cluster state after one scheduler
+// step. It runs with no other goroutine active, so the snapshots are
+// consistent. Exactly-once waiter delivery is not checked here — it is
+// enforced structurally by collectReleased, which blocks until every
+// completion implied by the waiter-delivery ledger has arrived.
+func (s *Sim) checkInvariants() {
+	if s.abort {
+		return
+	}
+	now := s.clk.Now()
+
+	// 1. Vector disjointness: a server is queried, or known, never
+	// both; and a holder is definitive or pending, never both.
+	for _, e := range s.core.Cache().Entries() {
+		known := e.Vh.Union(e.Vp)
+		if !e.Vq.Intersect(known).IsEmpty() {
+			s.violate("cache %s: Vq %s intersects Vh|Vp %s", e.Name, e.Vq, known)
+		}
+		if !e.Vh.Intersect(e.Vp).IsEmpty() {
+			s.violate("cache %s: Vh %s intersects Vp %s", e.Name, e.Vh, e.Vp)
+		}
+	}
+
+	// 2. Flood uniqueness: at most one live query flood per path inside
+	// the processing deadline. A client-forced refresh may legitimately
+	// overlap the flood it is refreshing past, so paths under a refresh
+	// guard are exempt until the guard lapses. InflightFloods is sorted
+	// by QID, so a violation is detected at a deterministic point.
+	livePaths := make(map[string]uint64)
+	for _, f := range s.core.InflightFloods() {
+		if now.After(f.Deadline) {
+			continue
+		}
+		if first, dup := livePaths[f.Path]; dup {
+			if g, ok := s.refreshGuard[f.Path]; !ok || now.After(g) {
+				s.violate("two live floods for %s (qid %d and %d)", f.Path, first, f.QID)
+			}
+			continue
+		}
+		livePaths[f.Path] = f.QID
+	}
+
+	// 3. Fast-queue conservation, in entry units and waiter units. The
+	// waiter form is the lost-client detector: every registered waiter
+	// is either still parked or was delivered exactly once.
+	st := s.core.Queue().Stats()
+	if st.Entries != st.Released+st.Expired+int64(st.InUse) {
+		s.violate("respq entry leak: %d entries != %d released + %d expired + %d in use",
+			st.Entries, st.Released, st.Expired, st.InUse)
+	}
+	if st.Entries+st.Joins != st.ReleasedWaiters+st.ExpiredWaiters+int64(s.parked) {
+		s.violate("respq waiter leak: %d registered != %d released + %d expired + %d parked",
+			st.Entries+st.Joins, st.ReleasedWaiters, st.ExpiredWaiters, s.parked)
+	}
+}

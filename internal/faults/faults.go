@@ -60,8 +60,8 @@ type Plan struct {
 	Reorder float64
 }
 
-// active reports whether the plan can inject anything.
-func (p Plan) active() bool {
+// Active reports whether the plan can inject anything.
+func (p Plan) Active() bool {
 	return p.Drop > 0 || p.Dup > 0 || p.Delay > 0 || p.Reorder > 0
 }
 
@@ -209,38 +209,55 @@ func (n *Network) planFor(addr string) Plan {
 	return n.plan
 }
 
-// decision is one fault roll's outcome.
-type decision int
+// Decision classifies the outcome of one per-frame fault roll.
+type Decision int
 
+// Per-frame fault decisions, in the order the cumulative-probability
+// roll checks them.
 const (
-	passThrough decision = iota
-	dropFrame
-	dupFrame
-	delayFrame
-	reorderFrame
+	// PassThrough transmits the frame unchanged.
+	PassThrough Decision = iota
+	// DropFrame silently discards the frame.
+	DropFrame
+	// DupFrame transmits the frame twice.
+	DupFrame
+	// DelayFrame holds the frame for the returned duration before
+	// transmission.
+	DelayFrame
+	// ReorderFrame holds the frame back one position (an adjacent swap).
+	ReorderFrame
 )
 
-// decide rolls the seeded generator once against p (plus a second draw
-// for the delay duration when delaying).
-func (n *Network) decide(p Plan) (decision, time.Duration) {
-	n.rmu.Lock()
-	defer n.rmu.Unlock()
-	r := n.rng.Float64()
+// Decide rolls one per-frame fault decision for p using rng: a single
+// Float64 draw against the cumulative probabilities, plus an Int63n draw
+// for the delay duration when delaying. It is exported so deterministic
+// harnesses (internal/detsim) can reuse the live injector's exact
+// probability semantics with a scheduler-owned generator; the Network
+// wrapper calls it with its own serialized generator.
+func (p Plan) Decide(rng *rand.Rand) (Decision, time.Duration) {
+	r := rng.Float64()
 	switch {
 	case r < p.Drop:
-		return dropFrame, 0
+		return DropFrame, 0
 	case r < p.Drop+p.Dup:
-		return dupFrame, 0
+		return DupFrame, 0
 	case r < p.Drop+p.Dup+p.Delay:
 		d := p.DelayMin
 		if p.DelayMax > p.DelayMin {
-			d += time.Duration(n.rng.Int63n(int64(p.DelayMax - p.DelayMin)))
+			d += time.Duration(rng.Int63n(int64(p.DelayMax - p.DelayMin)))
 		}
-		return delayFrame, d
+		return DelayFrame, d
 	case r < p.Drop+p.Dup+p.Delay+p.Reorder:
-		return reorderFrame, 0
+		return ReorderFrame, 0
 	}
-	return passThrough, 0
+	return PassThrough, 0
+}
+
+// decide serializes the network's generator around one Decide roll.
+func (n *Network) decide(p Plan) (Decision, time.Duration) {
+	n.rmu.Lock()
+	defer n.rmu.Unlock()
+	return p.Decide(n.rng)
 }
 
 // Listen passes through to the inner network; accepted connections are
@@ -324,21 +341,21 @@ func (fc *faultConn) Send(frame []byte) error {
 	p := fc.n.planFor(fc.addr)
 	// Flush any held frame after this one regardless of new decisions,
 	// so a reordered frame is displaced by exactly one position.
-	if p.active() {
+	if p.Active() {
 		dec, d := fc.n.decide(p)
 		switch dec {
-		case dropFrame:
+		case DropFrame:
 			fc.n.dropped.Add(1)
 			fc.n.trace(fc.addr, "drop")
 			return fc.flushHeld(nil)
-		case dupFrame:
+		case DupFrame:
 			fc.n.duplicated.Add(1)
 			fc.n.trace(fc.addr, "dup")
 			if err := fc.Conn.Send(frame); err != nil {
 				return err
 			}
 			return fc.flushHeld(frame)
-		case delayFrame:
+		case DelayFrame:
 			fc.n.delayed.Add(1)
 			fc.n.trace(fc.addr, fmt.Sprintf("delay %v", d))
 			cp := append([]byte(nil), frame...)
@@ -347,7 +364,7 @@ func (fc *faultConn) Send(frame []byte) error {
 				_ = fc.Conn.Send(cp) // conn may have closed meanwhile
 			}()
 			return fc.flushHeld(nil)
-		case reorderFrame:
+		case ReorderFrame:
 			fc.n.reordered.Add(1)
 			fc.n.trace(fc.addr, "reorder")
 			fc.mu.Lock()

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+)
+
+// TraceHash accumulates a canonical event-trace digest for one
+// deterministic run: each scheduler decision and its observable effects
+// is appended as one formatted line, and Sum fingerprints the whole
+// execution. Two runs of the same seed must produce byte-identical
+// traces, so comparing two TraceHash sums is the replay assertion of the
+// detsim harness (DESIGN.md §7).
+//
+// TraceHash is intentionally not safe for concurrent use: the harness
+// appends only from its single scheduler thread, and any concurrent
+// append would itself be a determinism bug worth crashing on.
+type TraceHash struct {
+	h hash.Hash
+	n int
+}
+
+// NewTraceHash returns an empty trace accumulator.
+func NewTraceHash() *TraceHash {
+	return &TraceHash{h: sha256.New()}
+}
+
+// Addf appends one formatted trace line to the digest.
+func (t *TraceHash) Addf(format string, args ...any) {
+	fmt.Fprintf(t.h, format, args...)
+	t.h.Write([]byte{'\n'})
+	t.n++
+}
+
+// Len returns the number of lines accumulated so far.
+func (t *TraceHash) Len() int { return t.n }
+
+// Sum returns the hex digest over every line appended so far, prefixed
+// with the line count (so an empty trace and a truncated one cannot
+// collide silently). Sum does not reset the accumulator.
+func (t *TraceHash) Sum() string {
+	return fmt.Sprintf("%d-%s", t.n, hex.EncodeToString(t.h.Sum(nil)))
+}

@@ -1,0 +1,49 @@
+package obs
+
+import "testing"
+
+func TestTraceHashDeterministic(t *testing.T) {
+	run := func() string {
+		h := NewTraceHash()
+		h.Addf("step %d deliver q=%d", 1, 42)
+		h.Addf("step %d release n=%d", 2, 3)
+		return h.Sum()
+	}
+	if run() != run() {
+		t.Fatal("identical traces hash differently")
+	}
+}
+
+func TestTraceHashOrderAndContentSensitive(t *testing.T) {
+	a := NewTraceHash()
+	a.Addf("x")
+	a.Addf("y")
+	b := NewTraceHash()
+	b.Addf("y")
+	b.Addf("x")
+	if a.Sum() == b.Sum() {
+		t.Fatal("trace hash ignores line order")
+	}
+	c := NewTraceHash()
+	c.Addf("x")
+	if a.Sum() == c.Sum() {
+		t.Fatal("trace hash ignores content")
+	}
+	if a.Len() != 2 || c.Len() != 1 {
+		t.Fatalf("Len = %d, %d", a.Len(), c.Len())
+	}
+}
+
+func TestTraceHashLineBoundaries(t *testing.T) {
+	// "ab"+"c" and "a"+"bc" must differ: lines are delimited, not
+	// concatenated raw.
+	a := NewTraceHash()
+	a.Addf("ab")
+	a.Addf("c")
+	b := NewTraceHash()
+	b.Addf("a")
+	b.Addf("bc")
+	if a.Sum() == b.Sum() {
+		t.Fatal("line boundaries not part of the digest")
+	}
+}

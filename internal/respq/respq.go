@@ -20,7 +20,9 @@ package respq
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scalla/internal/vclock"
@@ -28,6 +30,12 @@ import (
 
 // DefaultSlots is the paper's anchor count.
 const DefaultSlots = 1024
+
+// MaxSlots bounds Config.Slots: a token packs the slot index into its
+// low 32 bits (the generation tag takes the high 32), so the index must
+// fit 32 bits. The cap is set well below 1<<32 to keep the free list and
+// slot array allocations sane; New panics on a Config that exceeds it.
+const MaxSlots = 1 << 26
 
 // DefaultPeriod is the paper's fast-response clock period.
 const DefaultPeriod = 133 * time.Millisecond
@@ -91,6 +99,18 @@ type Stats struct {
 	Expired  int64 // entries timed out past the fast window
 	Full     int64 // allocations refused because no anchor was free
 	InUse    int   // anchors currently occupied
+
+	// Waiter-unit counters: where Released and Expired count entries,
+	// these count the individual waiters handed a result. Every waiter
+	// registered (Entries + Joins) is delivered exactly once, so
+	//
+	//	Entries + Joins == ReleasedWaiters + ExpiredWaiters + parked
+	//
+	// where parked is the number of clients currently blocked on an
+	// in-use entry. The deterministic harness checks this conservation
+	// law after every scheduler step.
+	ReleasedWaiters int64
+	ExpiredWaiters  int64
 }
 
 type slot struct {
@@ -116,12 +136,21 @@ type Queue struct {
 
 	ready  chan readyBatch
 	notify chan struct{} // wakes the thread when work appears
+
+	// running reports whether the Run response thread is active. While it
+	// is not (Manual-mode cores, tests), deliver invokes waiters inline so
+	// no batch can sit undelivered in the ready channel.
+	running atomic.Bool
 }
 
-// New returns a Queue with the given configuration. Call Run in a
-// goroutine to start the response thread.
+// New returns a Queue with the given configuration. It panics if
+// cfg.Slots exceeds MaxSlots — a larger queue could not issue unambiguous
+// tokens. Call Run in a goroutine to start the response thread.
 func New(cfg Config) *Queue {
 	cfg = cfg.withDefaults()
+	if cfg.Slots > MaxSlots {
+		panic(fmt.Sprintf("respq: Slots %d exceeds MaxSlots %d", cfg.Slots, MaxSlots))
+	}
 	q := &Queue{
 		cfg:    cfg,
 		slots:  make([]slot, cfg.Slots),
@@ -136,14 +165,18 @@ func New(cfg Config) *Queue {
 	return q
 }
 
-// token packs a slot index and its generation tag. Tags start at 1, so a
-// valid token is never 0.
+// token packs a slot index (low 32 bits) and its generation tag (high 32
+// bits). Tags start at 1, so a valid token is never 0. The index field
+// must be wide enough for every legal Config.Slots: an earlier 16-bit
+// packing aliased slot 65536 of a large queue onto slot 0 with a
+// shifted tag, letting Release/Join validate against the wrong slot and
+// hand waiters another file's server (see TestTokenAliasingLargeQueue).
 func token(slotIdx int, tag uint32) uint64 {
-	return uint64(tag)<<16 | uint64(slotIdx)
+	return uint64(tag)<<32 | uint64(uint32(slotIdx))
 }
 
 func untoken(t uint64) (slotIdx int, tag uint32) {
-	return int(t & 0xFFFF), uint32(t >> 16)
+	return int(uint32(t)), uint32(t >> 32)
 }
 
 // NewEntry allocates an anchor, parks w on it, and returns the token to
@@ -196,25 +229,29 @@ func (q *Queue) Join(tok uint64, w Waiter) bool {
 // handed the responding server. Stale tokens are ignored (the paper's
 // loose coupling — the cache reference may be behind). The waiters are
 // delivered by the response thread if Run is active, synchronously
-// otherwise.
-func (q *Queue) Release(tok uint64, server int, pending bool) {
+// otherwise. It returns the number of waiters handed the result (0 for a
+// stale token), which the deterministic harness uses to account for
+// exactly-once delivery.
+func (q *Queue) Release(tok uint64, server int, pending bool) int {
 	i, tag := untoken(tok)
 	q.mu.Lock()
 	if i < 0 || i >= len(q.slots) {
 		q.mu.Unlock()
-		return
+		return 0
 	}
 	s := &q.slots[i]
 	if !s.inUse || s.tag != tag {
 		q.mu.Unlock()
-		return
+		return 0
 	}
 	ws := s.waiters
 	s.waiters = nil
 	q.retire(i)
 	q.stats.Released++
+	q.stats.ReleasedWaiters += int64(len(ws))
 	q.mu.Unlock()
 	q.deliver(readyBatch{waiters: ws, res: Result{Server: server, Pending: pending}})
+	return len(ws)
 }
 
 // retire returns slot i to the free list, bumping its tag so outstanding
@@ -231,15 +268,19 @@ func (q *Queue) retire(i int) {
 }
 
 func (q *Queue) deliver(b readyBatch) {
-	select {
-	case q.ready <- b:
-		q.wake()
-	default:
-		// Ready queue saturated (can only happen if Run is not
-		// draining); deliver inline rather than drop.
-		for _, w := range b.waiters {
-			w(b.res)
+	if q.running.Load() {
+		select {
+		case q.ready <- b:
+			q.wake()
+			return
+		default:
+			// Ready queue saturated; deliver inline rather than drop.
 		}
+	}
+	// No response thread is draining (Manual-mode core, or saturation):
+	// deliver inline so the batch cannot sit parked in the channel.
+	for _, w := range b.waiters {
+		w(b.res)
 	}
 }
 
@@ -264,6 +305,7 @@ func (q *Queue) expire() []readyBatch {
 			s.waiters = nil
 			q.retire(i)
 			q.stats.Expired++
+			q.stats.ExpiredWaiters += int64(len(ws))
 			out = append(out, readyBatch{waiters: ws, res: Result{Expired: true}})
 		}
 	}
@@ -274,10 +316,28 @@ func (q *Queue) expire() []readyBatch {
 	return out
 }
 
+// ExpireNow runs one expiry pass synchronously, delivering the Expired
+// result to every waiter whose entry outlasted the fast window, and
+// returns the number of waiters so notified. Embedders that own the
+// response clock themselves — the deterministic simulation harness runs
+// Manual-mode cores with no Run thread — call it in place of the ticker.
+func (q *Queue) ExpireNow() int {
+	n := 0
+	for _, b := range q.expire() {
+		n += len(b.waiters)
+		for _, w := range b.waiters {
+			w(b.res)
+		}
+	}
+	return n
+}
+
 // Run is the response thread: it delivers satisfied entries and clocks
 // Period-length windows, expiring entries that outwait one. It returns
 // when stop is closed.
 func (q *Queue) Run(stop <-chan struct{}) {
+	q.running.Store(true)
+	defer q.running.Store(false)
 	t := q.cfg.Clock.NewTicker(q.cfg.Period)
 	defer t.Stop()
 	for {

@@ -218,6 +218,131 @@ func TestSlotReuseBumpsTag(t *testing.T) {
 	}
 }
 
+// TestTokenAliasingLargeQueue is the regression test for the 16-bit
+// token packing bug: with Slots > 65536, token(65536, tag=1) decoded as
+// (slot 0, tag 2) — exactly the state slot 0 reaches after one
+// retire/reallocate cycle — so releasing file A's high-slot entry
+// delivered file A's server to whatever file B had parked on slot 0.
+// With the 32-bit index packing the two tokens cannot collide.
+func TestTokenAliasingLargeQueue(t *testing.T) {
+	const slots = 1 << 17
+	q := New(Config{Slots: slots, Clock: vclock.NewFake()})
+
+	// Allocation order is slot 0, 1, 2, ...: grab slot 0 for file A and
+	// walk the allocator up to slot 65536 (the first index that the old
+	// packing truncated).
+	var colA collector
+	tokA, err := q.NewEntry(colA.waiter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var colHigh collector
+	var tokHigh uint64
+	for i := 1; i <= 1<<16; i++ {
+		w := func(Result) {}
+		if i == 1<<16 {
+			w = colHigh.waiter()
+		}
+		tok, err := q.NewEntry(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1<<16 {
+			tokHigh = tok
+		}
+	}
+	if i, _ := untoken(tokA); i != 0 {
+		t.Fatalf("file A landed on slot %d, want 0", i)
+	}
+	if i, _ := untoken(tokHigh); i != 1<<16 {
+		t.Fatalf("high entry landed on slot %d, want %d", i, 1<<16)
+	}
+	if tokA == tokHigh {
+		t.Fatal("tokens for distinct slots collide")
+	}
+
+	// Retire slot 0 once and let file B reallocate it, bumping its tag to
+	// 2 — the state the truncated decoding of tokHigh used to match.
+	if n := q.Release(tokA, 1, false); n != 1 {
+		t.Fatalf("Release(tokA) delivered to %d waiters, want 1", n)
+	}
+	var colB collector
+	tokB, err := q.NewEntry(colB.waiter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i, tag := untoken(tokB); i != 0 || tag != 2 {
+		t.Fatalf("file B got slot %d tag %d, want slot 0 tag 2", i, tag)
+	}
+
+	// Releasing the high slot must touch only the high slot.
+	if n := q.Release(tokHigh, 9, false); n != 1 {
+		t.Fatalf("Release(tokHigh) delivered to %d waiters, want 1", n)
+	}
+	if rs := colHigh.get(); len(rs) != 1 || rs[0].Server != 9 {
+		t.Fatalf("high-slot waiter got %+v", colHigh.get())
+	}
+	if rs := colB.get(); len(rs) != 0 {
+		t.Fatalf("file B's waiter received file A's release: %+v", rs)
+	}
+	if !q.Join(tokB, colB.waiter()) {
+		t.Fatal("file B's entry was clobbered by the high-slot release")
+	}
+}
+
+func TestNewRejectsOversizedSlots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted Slots > MaxSlots")
+		}
+	}()
+	New(Config{Slots: MaxSlots + 1})
+}
+
+// Without a Run thread, Release must invoke waiters inline — the ready
+// channel has no consumer, and the old queue-first path parked batches
+// there undelivered until saturation.
+func TestReleaseSynchronousWithoutRun(t *testing.T) {
+	q := New(Config{Slots: 8, Clock: vclock.NewFake()})
+	var col collector
+	tok, err := q.NewEntry(col.waiter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Join(tok, col.waiter()) {
+		t.Fatal("Join failed")
+	}
+	if n := q.Release(tok, 5, false); n != 2 {
+		t.Fatalf("Release returned %d, want 2", n)
+	}
+	rs := col.get() // no waitN: delivery must already have happened
+	if len(rs) != 2 || rs[0].Server != 5 || rs[1].Server != 5 {
+		t.Fatalf("results = %+v", rs)
+	}
+}
+
+func TestExpireNow(t *testing.T) {
+	fc := vclock.NewFake()
+	q := New(Config{Slots: 4, Period: 133 * time.Millisecond, Clock: fc})
+	var col collector
+	if _, err := q.NewEntry(col.waiter()); err != nil {
+		t.Fatal(err)
+	}
+	if n := q.ExpireNow(); n != 0 {
+		t.Fatalf("young entry expired: %d waiters", n)
+	}
+	fc.Advance(133 * time.Millisecond)
+	if n := q.ExpireNow(); n != 1 {
+		t.Fatalf("ExpireNow notified %d waiters, want 1", n)
+	}
+	if rs := col.get(); len(rs) != 1 || !rs[0].Expired {
+		t.Fatalf("results = %+v", rs)
+	}
+	if st := q.Stats(); st.Expired != 1 || st.InUse != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
 func TestConcurrentChurn(t *testing.T) {
 	q := New(Config{Slots: 64, Clock: vclock.Real(), Period: 5 * time.Millisecond})
 	stop := make(chan struct{})

@@ -1,0 +1,159 @@
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Property tests for the Fake clock contract the deterministic harness
+// leans on (internal/detsim drives every component from one Fake, so
+// these are load-bearing guarantees, not implementation trivia).
+
+// TestFakeNowMonotonicUnderConcurrentAdvance asserts that no observer
+// ever sees the fake time move backward while many goroutines advance
+// it concurrently.
+func TestFakeNowMonotonicUnderConcurrentAdvance(t *testing.T) {
+	f := NewFake()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	var regressions atomic.Int64
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := f.Now()
+			for !stop.Load() {
+				now := f.Now()
+				if now.Before(last) {
+					regressions.Add(1)
+					return
+				}
+				last = now
+			}
+		}()
+	}
+	var adv sync.WaitGroup
+	for a := 0; a < 8; a++ {
+		adv.Add(1)
+		go func(a int) {
+			defer adv.Done()
+			for i := 0; i < 200; i++ {
+				f.Advance(time.Duration(1+(a+i)%5) * time.Millisecond)
+			}
+		}(a)
+	}
+	adv.Wait()
+	stop.Store(true)
+	wg.Wait()
+	if n := regressions.Load(); n != 0 {
+		t.Fatalf("observed %d time regressions", n)
+	}
+}
+
+// TestFakeEqualDeadlineWaitersAllFireAtOneInstant registers several
+// waiters with the same deadline and asserts one Advance fires every
+// one of them with exactly the shared deadline timestamp — no waiter
+// is lost to the tie and none observes a different instant.
+func TestFakeEqualDeadlineWaitersAllFireAtOneInstant(t *testing.T) {
+	f := NewFake()
+	deadline := f.Now().Add(time.Second)
+	const n = 8
+	chans := make([]<-chan time.Time, n)
+	for i := range chans {
+		chans[i] = f.After(time.Second)
+	}
+	f.Advance(time.Second)
+	for i, ch := range chans {
+		select {
+		case ts := <-ch:
+			if !ts.Equal(deadline) {
+				t.Errorf("waiter %d fired at %v, want %v", i, ts, deadline)
+			}
+		default:
+			t.Errorf("waiter %d did not fire", i)
+		}
+	}
+	if n := f.WaiterCount(); n != 0 {
+		t.Fatalf("%d waiters left pending", n)
+	}
+}
+
+// TestFakeEqualDeadlineTieBreakIsFIFO pins the tie-break rule Advance
+// applies to equal deadlines: registration order (the seq field). The
+// fire order is not observable through the buffered channels, so this
+// is a white-box check that the registration sequence is strictly
+// increasing — the property Advance's selection loop sorts on.
+func TestFakeEqualDeadlineTieBreakIsFIFO(t *testing.T) {
+	f := NewFake()
+	for i := 0; i < 4; i++ {
+		f.After(time.Second)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := 1; i < len(f.waiters); i++ {
+		a, b := f.waiters[i-1], f.waiters[i]
+		if !a.deadline.Equal(b.deadline) {
+			t.Fatalf("deadlines differ: %v vs %v", a.deadline, b.deadline)
+		}
+		if a.seq >= b.seq {
+			t.Fatalf("seq not FIFO at %d: %d then %d", i, a.seq, b.seq)
+		}
+	}
+}
+
+// TestFakeTickerUnderConcurrentAdvance hammers one ticker from many
+// advancing goroutines with a slow consumer and asserts the
+// time.Ticker-like contract holds: Advance never blocks on the full
+// channel (ticks drop instead), every delivered tick carries a strictly
+// later timestamp than the one before, and at most one tick is left
+// buffered at the end.
+func TestFakeTickerUnderConcurrentAdvance(t *testing.T) {
+	f := NewFake()
+	tk := f.NewTicker(time.Millisecond)
+	defer tk.Stop()
+
+	var adv sync.WaitGroup
+	for a := 0; a < 8; a++ {
+		adv.Add(1)
+		go func() {
+			defer adv.Done()
+			for i := 0; i < 100; i++ {
+				f.Advance(time.Millisecond) // 800 periods total
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	var ticks []time.Time
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case ts := <-tk.C():
+				ticks = append(ticks, ts)
+				time.Sleep(100 * time.Microsecond) // slow consumer: force drops
+			case <-time.After(50 * time.Millisecond):
+				return // advancing finished and the channel stayed quiet
+			}
+		}
+	}()
+	adv.Wait()
+	<-done
+
+	if len(ticks) == 0 {
+		t.Fatal("no ticks delivered")
+	}
+	for i := 1; i < len(ticks); i++ {
+		if !ticks[i].After(ticks[i-1]) {
+			t.Fatalf("tick %d at %v not after tick %d at %v",
+				i, ticks[i], i-1, ticks[i-1])
+		}
+	}
+	// Everything drained; at most the single buffered tick may remain.
+	if extra := len(tk.C()); extra > 1 {
+		t.Fatalf("%d ticks buffered, channel capacity should bound it to 1", extra)
+	}
+}
