@@ -1,0 +1,295 @@
+package main
+
+// End-to-end data-plane benchmarks for the -json suite: full
+// client-through-cluster operations over an in-process interconnect
+// with a 50 µs one-way latency, so the numbers expose round-trip
+// counts (what the stream-multiplexed protocol attacks) rather than
+// memory bandwidth. They back the readahead and pipelining acceptance
+// numbers in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"scalla/internal/client"
+	"scalla/internal/cmsd"
+	"scalla/internal/metrics"
+	"scalla/internal/mux"
+	"scalla/internal/proto"
+	"scalla/internal/store"
+	"scalla/internal/transport"
+)
+
+// e2eLatency is the emulated one-way interconnect delay.
+const e2eLatency = 50 * time.Microsecond
+
+// e2eRig is a 1-manager/1-server cluster over a latency-bearing
+// in-process network.
+type e2eRig struct {
+	net  transport.Network
+	mgr  *cmsd.Node
+	srv  *cmsd.Node
+	st   *store.Store
+	stop func()
+}
+
+func newE2ERig() (*e2eRig, error) { return newE2ERigLat(e2eLatency) }
+
+func newE2ERigLat(lat time.Duration) (*e2eRig, error) {
+	net := transport.NewInProc(transport.InProcConfig{Latency: lat})
+	mgr, err := cmsd.NewNode(cmsd.NodeConfig{
+		Name: "mgr", Role: proto.RoleManager,
+		DataAddr: "mgr:data", CtlAddr: "mgr:ctl", Net: net,
+		Core:           cmsd.Config{FullDelay: time.Second},
+		PingInterval:   50 * time.Millisecond,
+		ReconnectDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Start(); err != nil {
+		return nil, err
+	}
+	st := store.New(store.Config{})
+	srv, err := cmsd.NewNode(cmsd.NodeConfig{
+		Name: "srv0", Role: proto.RoleServer,
+		DataAddr: "srv0:data", Parents: []string{"mgr:ctl"}, Prefixes: []string{"/"},
+		Net: net, Store: st,
+		ReconnectDelay: 20 * time.Millisecond,
+	})
+	if err != nil {
+		mgr.Stop()
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		mgr.Stop()
+		return nil, err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for mgr.Core().Table().Count() < 1 {
+		if time.Now().After(deadline) {
+			mgr.Stop()
+			srv.Stop()
+			return nil, fmt.Errorf("e2e bench cluster never formed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return &e2eRig{net: net, mgr: mgr, srv: srv, st: st,
+		stop: func() { srv.Stop(); mgr.Stop() }}, nil
+}
+
+// benchE2E runs the data-plane suite and appends its results.
+func benchE2E(quick bool) ([]BenchResult, error) {
+	rig, err := newE2ERig()
+	if err != nil {
+		return nil, err
+	}
+	defer rig.stop()
+
+	var out []BenchResult
+	opens := 2000
+	if quick {
+		opens = 400
+	}
+	r, err := benchOpenCached(rig, opens)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+
+	fileMB := 8
+	if quick {
+		fileMB = 2
+	}
+	for _, ra := range []int{1, 4, 8} {
+		r, err := benchReadSeq(rig, ra, fileMB)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+
+	rpcs := 4000
+	if quick {
+		rpcs = 800
+	}
+	single, err := benchRPC(rig, 1, rpcs)
+	if err != nil {
+		return nil, err
+	}
+	pipelined, err := benchRPC(rig, 8, rpcs)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, single, pipelined)
+	return out, nil
+}
+
+// benchOpenCached measures a full Open round trip (manager redirect +
+// server open) for a location the manager already has cached.
+func benchOpenCached(rig *e2eRig, n int) (BenchResult, error) {
+	rig.st.Put("/store/open.root", []byte("x"))
+	cl := client.New(client.Config{Net: rig.net, Managers: []string{"mgr:data"}})
+	defer cl.Close()
+	// Warm the manager's location cache.
+	f, err := cl.Open("/store/open.root")
+	if err != nil {
+		return BenchResult{}, err
+	}
+	f.Close()
+	var benchErr error
+	res := measure("open.cached", n, func(i int) {
+		if benchErr != nil {
+			return
+		}
+		f, err := cl.Open("/store/open.root")
+		if err != nil {
+			benchErr = err
+			return
+		}
+		f.Close()
+	})
+	return res, benchErr
+}
+
+// benchReadSeq streams a file sequentially in 64 KiB chunks with the
+// given readahead window, measuring per-Read latency and end-to-end
+// throughput.
+func benchReadSeq(rig *e2eRig, readahead, fileMB int) (BenchResult, error) {
+	path := fmt.Sprintf("/store/seq%d.root", readahead)
+	data := make([]byte, fileMB<<20)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := rig.st.Put(path, data); err != nil {
+		return BenchResult{}, err
+	}
+	cl := client.New(client.Config{
+		Net: rig.net, Managers: []string{"mgr:data"}, Readahead: readahead,
+	})
+	defer cl.Close()
+
+	f, err := cl.Open(path)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer f.Close()
+	op := fmt.Sprintf("read.seq.ra%d", readahead)
+	h := metrics.NewRegistry().Histogram(op)
+	buf := make([]byte, 64<<10)
+	// One warmup pass (open, location cache, frame pools), then timed
+	// passes so percentiles come from steady-state streaming.
+	const passes = 4
+	var total int64
+	var elapsed time.Duration
+	for pass := 0; pass <= passes; pass++ {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return BenchResult{}, err
+		}
+		warm := pass > 0
+		var passTotal int64
+		start := time.Now()
+		for {
+			t0 := time.Now()
+			n, err := f.Read(buf)
+			if warm {
+				h.Observe(time.Since(t0))
+			}
+			passTotal += int64(n)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return BenchResult{}, err
+			}
+		}
+		if warm {
+			elapsed += time.Since(start)
+			total += passTotal
+		}
+		if passTotal != int64(len(data)) {
+			return BenchResult{}, fmt.Errorf("%s: read %d bytes, want %d", op, passTotal, len(data))
+		}
+	}
+	s := h.Snapshot()
+	return BenchResult{
+		Op: op, N: s.Count,
+		P50US:     float64(s.P50.Nanoseconds()) / 1e3,
+		P90US:     float64(s.P90.Nanoseconds()) / 1e3,
+		P99US:     float64(s.P99.Nanoseconds()) / 1e3,
+		OpsPerSec: float64(s.Count) / elapsed.Seconds(),
+		MBPerSec:  float64(total) / (1 << 20) / elapsed.Seconds(),
+	}, nil
+}
+
+// benchRPC issues n small Reads over one shared multiplexed connection
+// from `streams` concurrent goroutines, measuring per-call latency.
+// streams=1 is the lock-step baseline; streams=8 shows pipelining.
+func benchRPC(rig *e2eRig, streams, n int) (BenchResult, error) {
+	rig.st.Put("/store/rpc.root", make([]byte, 4096))
+	// Resolve and open directly at the server over one mux conn.
+	mc, err := mux.Dial(rig.net, "srv0:data", mux.Options{MaxInFlight: 64})
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer mc.Close()
+	reply, err := mc.Call(proto.Open{Path: "/store/rpc.root"}, 10*time.Second)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	ok, isOK := reply.(proto.OpenOK)
+	if !isOK {
+		return BenchResult{}, fmt.Errorf("rpc bench open: %#v", reply)
+	}
+
+	op := "rpc.single"
+	if streams > 1 {
+		op = fmt.Sprintf("rpc.pipelined.%d", streams)
+	}
+	h := metrics.NewRegistry().Histogram(op)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		benchErr error
+	)
+	start := time.Now()
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n/streams; i++ {
+				t0 := time.Now()
+				reply, err := mc.Call(proto.Read{FH: ok.FH, Off: 0, N: 512}, 10*time.Second)
+				if err == nil {
+					if _, isData := reply.(proto.Data); !isData {
+						err = fmt.Errorf("rpc bench read: %#v", reply)
+					}
+				}
+				if err != nil {
+					mu.Lock()
+					if benchErr == nil {
+						benchErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				h.Observe(time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if benchErr != nil {
+		return BenchResult{}, benchErr
+	}
+	s := h.Snapshot()
+	return BenchResult{
+		Op: op, N: s.Count,
+		P50US:     float64(s.P50.Nanoseconds()) / 1e3,
+		P90US:     float64(s.P90.Nanoseconds()) / 1e3,
+		P99US:     float64(s.P99.Nanoseconds()) / 1e3,
+		OpsPerSec: float64(s.Count) / elapsed.Seconds(),
+	}, nil
+}

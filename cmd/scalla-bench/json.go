@@ -38,6 +38,8 @@ type BenchResult struct {
 	P90US     float64 `json:"p90_us"`
 	P99US     float64 `json:"p99_us"`
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// MBPerSec is set only for data-plane throughput ops (read.seq.*).
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
 }
 
 // BenchFile is the top-level document written to BENCH_<date>.json.
@@ -66,6 +68,11 @@ func runJSONBench(quick bool) (string, error) {
 		return "", err
 	}
 	out.Results = append(out.Results, resolved, benchMarshal(n), benchMarshalFrame(n), benchSpan(n), benchFrameEncode(n/10))
+	e2e, err := benchE2E(quick)
+	if err != nil {
+		return "", err
+	}
+	out.Results = append(out.Results, e2e...)
 
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)
 	b, err := json.MarshalIndent(out, "", "  ")

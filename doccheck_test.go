@@ -27,6 +27,7 @@ var docCheckedPackages = []string{
 	"internal/backoff",
 	"internal/cache",
 	"internal/proto",
+	"internal/mux",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

@@ -36,7 +36,7 @@ func TestWaitVerdictSleepsFullDelayBeforeRetry(t *testing.T) {
 					if err != nil {
 						return
 					}
-					m, err := proto.Unmarshal(frame)
+					m, sid, err := proto.UnmarshalStream(frame)
 					if err != nil {
 						return
 					}
@@ -44,9 +44,9 @@ func TestWaitVerdictSleepsFullDelayBeforeRetry(t *testing.T) {
 						continue
 					}
 					if locates.Add(1) == 1 {
-						transport.SendMessage(c, proto.Wait{Millis: 5000})
+						transport.SendMessageStream(c, proto.Wait{Millis: 5000}, sid)
 					} else {
-						transport.SendMessage(c, proto.Redirect{Addr: "srv:data"})
+						transport.SendMessageStream(c, proto.Redirect{Addr: "srv:data"}, sid)
 					}
 				}
 			}(c)

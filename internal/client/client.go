@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"scalla/internal/backoff"
+	"scalla/internal/mux"
 	"scalla/internal/obs"
 	"scalla/internal/proto"
 	"scalla/internal/transport"
@@ -93,6 +94,14 @@ type Config struct {
 	Retry backoff.Policy
 	// RetrySeed seeds the retry jitter for reproducible schedules.
 	RetrySeed int64
+	// Readahead is how many sequential Read requests a File keeps in
+	// flight over its server connection (the pipelined window of
+	// DESIGN.md §8). 1 disables readahead — every Read is a lock-step
+	// request/reply round trip. Default 4.
+	Readahead int
+	// MaxInFlight bounds the concurrent streams multiplexed onto one
+	// pooled server connection; further requests queue. Default 64.
+	MaxInFlight int
 	// Clock supplies time. Default vclock.Real().
 	Clock vclock.Clock
 	// Tracer records one span per walk (redirect chain) with the hops
@@ -119,6 +128,9 @@ func (c Config) withDefaults() Config {
 	if c.Retry.Max <= 0 {
 		c.Retry.Max = 500 * time.Millisecond
 	}
+	if c.Readahead <= 0 {
+		c.Readahead = 4
+	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
 	}
@@ -129,19 +141,13 @@ func (c Config) withDefaults() Config {
 }
 
 // Client is a Scalla client. It is safe for concurrent use; requests to
-// the same server serialize over one shared connection.
+// the same server pipeline over one shared multiplexed connection, so N
+// goroutines (or one File's readahead window) share a single socket
+// instead of serializing on it (DESIGN.md §8).
 type Client struct {
 	cfg   Config
 	retry *backoff.Backoff
-
-	mu    sync.Mutex
-	conns map[string]*sconn
-}
-
-// sconn serializes request/reply pairs on one connection.
-type sconn struct {
-	mu sync.Mutex
-	c  transport.Conn
+	pool  *mux.Pool
 }
 
 // New returns a Client.
@@ -150,105 +156,44 @@ func New(cfg Config) *Client {
 	return &Client{
 		cfg:   cfg,
 		retry: backoff.New(cfg.Retry, cfg.RetrySeed),
-		conns: make(map[string]*sconn),
+		pool: mux.NewPool(cfg.Net, mux.Options{
+			MaxInFlight: cfg.MaxInFlight,
+			Clock:       cfg.Clock,
+		}),
 	}
 }
 
-// Close drops all cached connections.
+// Close drops all cached connections, failing any in-flight requests.
 func (cl *Client) Close() {
-	cl.mu.Lock()
-	defer cl.mu.Unlock()
-	for _, sc := range cl.conns {
-		sc.c.Close()
-	}
-	cl.conns = make(map[string]*sconn)
+	cl.pool.Close()
 }
 
-func (cl *Client) conn(addr string) (*sconn, error) {
-	cl.mu.Lock()
-	sc, ok := cl.conns[addr]
-	cl.mu.Unlock()
-	if ok {
-		return sc, nil
-	}
-	c, err := cl.cfg.Net.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	cl.mu.Lock()
-	if existing, ok := cl.conns[addr]; ok {
-		cl.mu.Unlock()
-		c.Close()
-		return existing, nil
-	}
-	sc = &sconn{c: c}
-	cl.conns[addr] = sc
-	cl.mu.Unlock()
-	return sc, nil
-}
-
-func (cl *Client) drop(addr string, sc *sconn) {
-	cl.mu.Lock()
-	if cl.conns[addr] == sc {
-		delete(cl.conns, addr)
-	}
-	cl.mu.Unlock()
-	sc.c.Close()
-}
-
-// rpc performs one request/reply exchange with addr. Each attempt is
-// bounded by RPCTimeout (a timed-out connection is torn down, which
-// also unblocks the exchange goroutine); failed attempts redial after a
-// jittered backoff so a struggling host is not hammered in a tight
-// loop.
+// rpc performs one request/reply exchange with addr over the pooled
+// multiplexed connection. Each attempt is bounded by RPCTimeout; a
+// failed attempt drops the pooled connection (preserving the fault
+// semantics of FAULTS.md — concurrent streams on it fail fast with
+// their own retries) and redials after a jittered backoff so a
+// struggling host is not hammered in a tight loop.
 func (cl *Client) rpc(addr string, m proto.Message) (proto.Message, error) {
 	var lastErr error
 	for attempt := 0; attempt < cl.cfg.RPCAttempts; attempt++ {
 		if attempt > 0 {
 			cl.cfg.Clock.Sleep(cl.retry.Next())
 		}
-		sc, err := cl.conn(addr)
+		mc, err := cl.pool.Get(addr)
 		if err != nil {
 			return nil, err
 		}
-		frame, err := cl.exchange(sc, m)
+		reply, err := mc.Call(m, cl.cfg.RPCTimeout)
 		if err != nil {
-			cl.drop(addr, sc)
+			cl.pool.Drop(addr, mc)
 			lastErr = err
 			continue
 		}
 		cl.retry.Reset()
-		return proto.Unmarshal(frame)
+		return reply, nil
 	}
 	return nil, fmt.Errorf("%w: %s unreachable: %v", ErrIO, addr, lastErr)
-}
-
-// exchange runs one send/recv pair under the RPC timeout. The exchange
-// goroutine owns the connection mutex; on timeout the connection is
-// closed, which errors the pending Recv and lets the goroutine finish.
-func (cl *Client) exchange(sc *sconn, m proto.Message) ([]byte, error) {
-	type result struct {
-		frame []byte
-		err   error
-	}
-	done := make(chan result, 1)
-	go func() {
-		sc.mu.Lock()
-		defer sc.mu.Unlock()
-		err := transport.SendMessage(sc.c, m)
-		var frame []byte
-		if err == nil {
-			frame, err = sc.c.Recv()
-		}
-		done <- result{frame, err}
-	}()
-	select {
-	case r := <-done:
-		return r.frame, r.err
-	case <-cl.cfg.Clock.After(cl.cfg.RPCTimeout):
-		sc.c.Close()
-		return nil, fmt.Errorf("%w: rpc timed out after %v", ErrIO, cl.cfg.RPCTimeout)
-	}
 }
 
 // walk sends m starting at a manager, following Redirects and obeying
@@ -390,7 +335,10 @@ func (cl *Client) locate(req proto.Locate) (string, error) {
 	}
 }
 
-// File is an open remote file.
+// File is an open remote file. Sequential Reads pipeline a readahead
+// window of Config.Readahead outstanding requests over the shared
+// server connection; any non-sequential access (Seek, ReadAt, writes)
+// cancels the window.
 type File struct {
 	cl    *Client
 	path  string
@@ -400,6 +348,95 @@ type File struct {
 	size  int64
 	off   int64 // sequential read/write cursor
 	mu    sync.Mutex
+	ra    []raChunk // outstanding readahead window, ascending offsets
+}
+
+// raChunk is one in-flight readahead request.
+type raChunk struct {
+	off  int64
+	n    uint32
+	call *mux.Call
+	mc   *mux.Conn
+}
+
+// cancelReadahead abandons every outstanding readahead request. Caller
+// holds f.mu. Safe on an empty window.
+func (f *File) cancelReadahead() {
+	for _, c := range f.ra {
+		c.call.Cancel()
+	}
+	f.ra = nil
+}
+
+// fillReadahead tops the window up to Readahead outstanding requests of
+// want bytes each, starting at the cursor and advancing by want.
+// Requests are not issued past the known size (the size can grow; the
+// lock-step path still sees appended data). Caller holds f.mu.
+func (f *File) fillReadahead(want uint32) error {
+	for len(f.ra) < f.cl.cfg.Readahead {
+		next := f.off
+		if n := len(f.ra); n > 0 {
+			last := f.ra[n-1]
+			next = last.off + int64(last.n)
+		}
+		if next >= f.size && next > f.off {
+			break // don't speculate past EOF
+		}
+		mc, err := f.cl.pool.Get(f.addr)
+		if err != nil {
+			return err
+		}
+		call, err := mc.Start(proto.Read{FH: f.fh, Off: next, N: want})
+		if err != nil {
+			f.cl.pool.Drop(f.addr, mc)
+			return err
+		}
+		f.ra = append(f.ra, raChunk{off: next, n: want, call: call, mc: mc})
+	}
+	return nil
+}
+
+// readSequential serves one sequential Read from the readahead window,
+// filling it first and consuming the head chunk. Any surprise — a Wait
+// verdict, an error, a short chunk — drains the window and falls back
+// to the recovering lock-step path. Caller holds f.mu.
+func (f *File) readSequential(p []byte) (int, error) {
+	want := uint32(len(p))
+	// A window built for a different cursor or chunk size is useless.
+	if len(f.ra) > 0 && (f.ra[0].off != f.off || f.ra[0].n != want) {
+		f.cancelReadahead()
+	}
+	if err := f.fillReadahead(want); err != nil {
+		f.cancelReadahead()
+		return f.readAtLocked(p, f.off, true)
+	}
+	head := f.ra[0]
+	f.ra = f.ra[1:]
+	reply, err := head.call.Wait(f.cl.cfg.RPCTimeout)
+	if err != nil {
+		// Timeout or connection death: the rest of the window is dead or
+		// stale either way. The lock-step path redials and recovers.
+		f.cancelReadahead()
+		f.cl.pool.Drop(f.addr, head.mc)
+		return f.readAtLocked(p, f.off, true)
+	}
+	data, ok := reply.(proto.Data)
+	if !ok {
+		// Wait verdict (staging) or an error: the speculative window was
+		// issued against the wrong state of the file. Drain it and let
+		// the lock-step path sleep/recover.
+		f.cancelReadahead()
+		return f.readAtLocked(p, f.off, true)
+	}
+	n := copy(p, data.Bytes)
+	if data.EOF || uint32(n) != want {
+		// The tail of the window overshot the end of the file.
+		f.cancelReadahead()
+	}
+	if data.EOF {
+		return n, io.EOF
+	}
+	return n, nil
 }
 
 // Open opens path for reading.
@@ -498,6 +535,7 @@ func (f *File) Size() int64 { return f.size }
 // asks the manager for a cache refresh naming the failing host, then
 // reopens at the fresh location (Section III-C1).
 func (f *File) recover() error {
+	f.cancelReadahead() // the window targets the failed server and handle
 	reply, addr, err := f.cl.walk(proto.Locate{Path: f.path, Write: f.write, Refresh: true, Avoid: f.addr})
 	if err != nil {
 		return err
@@ -527,9 +565,11 @@ func (f *File) recover() error {
 }
 
 // ReadAt implements io.ReaderAt with transparent refresh recovery.
+// Random access cancels any sequential readahead window.
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.cancelReadahead()
 	return f.readAtLocked(p, off, true)
 }
 
@@ -570,11 +610,21 @@ func (f *File) readAtLocked(p []byte, off int64, mayRecover bool) (int, error) {
 	}
 }
 
-// Read implements io.Reader (sequential).
+// Read implements io.Reader (sequential). With Readahead > 1 it keeps
+// a window of pipelined requests in flight so consecutive Reads stream
+// instead of paying a round trip each.
 func (f *File) Read(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n, err := f.readAtLocked(p, f.off, true)
+	var (
+		n   int
+		err error
+	)
+	if f.cl.cfg.Readahead > 1 && len(p) > 0 {
+		n, err = f.readSequential(p)
+	} else {
+		n, err = f.readAtLocked(p, f.off, true)
+	}
 	f.off += int64(n)
 	return n, err
 }
@@ -599,6 +649,9 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	if pos < 0 {
 		return 0, fmt.Errorf("%w: negative seek position", ErrIO)
 	}
+	if pos != f.off {
+		f.cancelReadahead()
+	}
 	f.off = pos
 	return pos, nil
 }
@@ -607,6 +660,7 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.cancelReadahead() // speculative reads may race the write
 	reply, err := f.cl.rpc(f.addr, proto.Write{FH: f.fh, Off: off, Bytes: p})
 	if err != nil {
 		return 0, err
@@ -640,6 +694,7 @@ func (f *File) Write(p []byte) (int, error) {
 func (f *File) Truncate(size int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.cancelReadahead()
 	reply, err := f.cl.rpc(f.addr, proto.Trunc{FH: f.fh, Size: size})
 	if err != nil {
 		return err
@@ -655,8 +710,11 @@ func (f *File) Truncate(size int64) error {
 	}
 }
 
-// Close releases the remote handle.
+// Close releases the remote handle, abandoning any readahead.
 func (f *File) Close() error {
+	f.mu.Lock()
+	f.cancelReadahead()
+	f.mu.Unlock()
 	reply, err := f.cl.rpc(f.addr, proto.Close{FH: f.fh})
 	if err != nil {
 		return err

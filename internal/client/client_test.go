@@ -393,10 +393,12 @@ func TestHopLimitExceeded(t *testing.T) {
 			go func() {
 				defer conn.Close()
 				for {
-					if _, err := conn.Recv(); err != nil {
+					frame, err := conn.Recv()
+					if err != nil {
 						return
 					}
-					conn.Send(proto.Marshal(proto.Redirect{Addr: "loop", CtlAddr: "loop"}))
+					sid := proto.StreamID(frame)
+					conn.Send(proto.MarshalStream(proto.Redirect{Addr: "loop", CtlAddr: "loop"}, sid))
 				}
 			}()
 		}

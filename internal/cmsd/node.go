@@ -8,6 +8,7 @@ import (
 
 	"scalla/internal/backoff"
 	"scalla/internal/cluster"
+	"scalla/internal/mux"
 	"scalla/internal/names"
 	"scalla/internal/obs"
 	"scalla/internal/proto"
@@ -51,6 +52,12 @@ type NodeConfig struct {
 	Core Config
 	// StageWaitMillis is the wait hint while files stage. Default 300.
 	StageWaitMillis uint32
+	// DataWorkers bounds how many pipelined requests one data-plane
+	// connection may execute concurrently (stream-multiplexed dispatch,
+	// DESIGN.md §8). 1 restores strictly serial per-connection service.
+	// Default 8 on servers, 16 on redirectors (whose handlers may block
+	// in the fast response queue for a full delay).
+	DataWorkers int
 	// PingInterval is how often a redirector pings subordinates for
 	// load/liveness. Default 1 s.
 	PingInterval time.Duration
@@ -157,6 +164,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		n.data = xrd.New(xrd.Config{
 			Store: cfg.Store, ReadOnly: cfg.ReadOnly,
 			StageWaitMillis: cfg.StageWaitMillis, Logf: cfg.Logf,
+			Workers: cfg.DataWorkers, Tracer: cfg.Tracer,
 		})
 	case proto.RoleSupervisor, proto.RoleManager:
 		n.core = NewCore(cfg.Core)
@@ -641,54 +649,62 @@ func (n *Node) redirectorConn(conn transport.Conn) {
 	}
 	defer n.untrack(conn)
 	defer conn.Close()
-	for {
-		frame, err := conn.Recv()
-		if err != nil {
-			return
-		}
-		msg, err := proto.Unmarshal(frame)
-		if err != nil {
-			return
-		}
-		var reply proto.Message
-		switch m := msg.(type) {
-		case proto.Locate:
-			reply = n.outcomeReply(n.core.Resolve(Request{
-				Path: m.Path, Write: m.Write, Create: m.Create,
-				Refresh: m.Refresh, Avoid: m.Avoid,
-			}))
-		case proto.Open:
-			reply = n.outcomeReply(n.core.Resolve(Request{
-				Path: m.Path, Write: m.Write, Create: m.Create,
-			}))
-		case proto.Stat, proto.Unlink:
-			var path string
-			if s, isStat := m.(proto.Stat); isStat {
-				path = s.Path
-			} else {
-				path = m.(proto.Unlink).Path
-			}
-			out := n.core.Resolve(Request{Path: path})
-			if out.Kind == KindNoEnt {
-				if _, isStat := m.(proto.Stat); isStat {
-					reply = proto.StatOK{Exists: false}
-				} else {
-					reply = proto.Err{Code: proto.ENoEnt, Msg: "no such file"}
-				}
-			} else {
-				reply = n.outcomeReply(out)
-			}
-		case proto.Prepare:
-			reply = proto.PrepareOK{Queued: n.core.Prepare(m.Paths, m.Write)}
-		case proto.Ping:
-			reply = proto.Pong{Free: 1 << 40}
-		default:
-			reply = proto.Err{Code: proto.EInval, Msg: "unexpected message"}
-		}
-		if err := transport.SendMessage(conn, reply); err != nil {
-			return
-		}
+	workers := n.cfg.DataWorkers
+	if workers <= 0 {
+		// Redirector handlers park in the fast response queue for up to
+		// a full delay; a deeper default keeps one slow path from
+		// stalling a pipelined client's unrelated requests.
+		workers = 16
 	}
+	mux.Serve(conn, n.redirectorRequest, mux.ServeOptions{
+		Workers: workers,
+		Tracer:  n.cfg.Tracer,
+		OnError: func(err error) {
+			n.cfg.Logf("cmsd %s: bad data-plane frame from %s: %v", n.cfg.Name, conn.RemoteAddr(), err)
+		},
+	})
+}
+
+// redirectorRequest resolves one data-plane request on a redirector;
+// it may block in the fast response queue, so concurrent dispatch runs
+// it on a bounded worker per request.
+func (n *Node) redirectorRequest(msg proto.Message, _ mux.Responder) proto.Message {
+	var reply proto.Message
+	switch m := msg.(type) {
+	case proto.Locate:
+		reply = n.outcomeReply(n.core.Resolve(Request{
+			Path: m.Path, Write: m.Write, Create: m.Create,
+			Refresh: m.Refresh, Avoid: m.Avoid,
+		}))
+	case proto.Open:
+		reply = n.outcomeReply(n.core.Resolve(Request{
+			Path: m.Path, Write: m.Write, Create: m.Create,
+		}))
+	case proto.Stat, proto.Unlink:
+		var path string
+		if s, isStat := m.(proto.Stat); isStat {
+			path = s.Path
+		} else {
+			path = m.(proto.Unlink).Path
+		}
+		out := n.core.Resolve(Request{Path: path})
+		if out.Kind == KindNoEnt {
+			if _, isStat := m.(proto.Stat); isStat {
+				reply = proto.StatOK{Exists: false}
+			} else {
+				reply = proto.Err{Code: proto.ENoEnt, Msg: "no such file"}
+			}
+		} else {
+			reply = n.outcomeReply(out)
+		}
+	case proto.Prepare:
+		reply = proto.PrepareOK{Queued: n.core.Prepare(m.Paths, m.Write)}
+	case proto.Ping:
+		reply = proto.Pong{Free: 1 << 40}
+	default:
+		reply = proto.Err{Code: proto.EInval, Msg: "unexpected message"}
+	}
+	return reply
 }
 
 func (n *Node) outcomeReply(out Outcome) proto.Message {

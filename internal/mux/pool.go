@@ -1,0 +1,77 @@
+package mux
+
+import (
+	"sync"
+
+	"scalla/internal/transport"
+)
+
+// Pool shares one multiplexed Conn per remote address, so every caller
+// talking to the same server — all File handles, all walks — pipelines
+// over a single socket instead of serializing on private ones.
+type Pool struct {
+	net transport.Network
+	opt Options
+
+	mu    sync.Mutex
+	conns map[string]*Conn
+}
+
+// NewPool returns an empty pool dialing over net with the given
+// per-connection options.
+func NewPool(net transport.Network, opt Options) *Pool {
+	return &Pool{net: net, opt: opt, conns: make(map[string]*Conn)}
+}
+
+// Get returns the pooled connection to addr, dialing one if none
+// exists or the cached one has died. Concurrent Gets for one address
+// share a single connection.
+func (p *Pool) Get(addr string) (*Conn, error) {
+	p.mu.Lock()
+	if mc, ok := p.conns[addr]; ok {
+		if mc.Err() == nil {
+			p.mu.Unlock()
+			return mc, nil
+		}
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+
+	mc, err := Dial(p.net, addr, p.opt)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if existing, ok := p.conns[addr]; ok && existing.Err() == nil {
+		p.mu.Unlock()
+		mc.Close()
+		return existing, nil
+	}
+	p.conns[addr] = mc
+	p.mu.Unlock()
+	return mc, nil
+}
+
+// Drop closes mc and removes it from the pool if it is still the
+// cached connection for addr. Dropping a connection another goroutine
+// already replaced is a no-op beyond closing mc.
+func (p *Pool) Drop(addr string, mc *Conn) {
+	p.mu.Lock()
+	if p.conns[addr] == mc {
+		delete(p.conns, addr)
+	}
+	p.mu.Unlock()
+	mc.Close()
+}
+
+// Close tears down every pooled connection, failing their in-flight
+// streams with ErrClosed.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = make(map[string]*Conn)
+	p.mu.Unlock()
+	for _, mc := range conns {
+		mc.Close()
+	}
+}

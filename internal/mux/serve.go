@@ -1,0 +1,163 @@
+package mux
+
+import (
+	"fmt"
+	"sync"
+
+	"scalla/internal/obs"
+	"scalla/internal/proto"
+	"scalla/internal/transport"
+)
+
+// Handler processes one decoded request. Returning a non-nil message
+// sends it as the stream-tagged reply; returning nil sends nothing —
+// either the request wants no reply, or the handler already replied
+// itself through the Responder (the single-copy Data path).
+type Handler func(m proto.Message, r Responder) proto.Message
+
+// ServeOptions tunes a responder-side dispatch loop.
+type ServeOptions struct {
+	// Workers bounds how many requests from one connection execute
+	// concurrently. With Workers <= 1 dispatch is serial and inline —
+	// the deterministic lock-step of the original serve loops. Default
+	// 1.
+	Workers int
+	// Tracer records one span per dispatched request (kind, stream,
+	// reply) when enabled. Default: no tracing.
+	Tracer *obs.Tracer
+	// OnError, if set, receives frame decode errors before the loop
+	// stops serving the connection.
+	OnError func(err error)
+}
+
+// Responder sends stream-tagged replies for one in-flight request; the
+// write lock it carries serializes concurrent workers onto the
+// connection.
+type Responder struct {
+	st  *serveState
+	sid uint32
+}
+
+// Stream returns the stream ID of the request being answered, which
+// every reply must echo.
+func (r Responder) Stream() uint32 { return r.sid }
+
+// Send marshals m tagged with the request's stream and writes it out,
+// serialized against the connection's other workers.
+func (r Responder) Send(m proto.Message) error {
+	r.st.wmu.Lock()
+	defer r.st.wmu.Unlock()
+	return transport.SendMessageStream(r.st.conn, m, r.sid)
+}
+
+// SendFrame writes a pre-marshaled pooled frame — which the caller
+// must already have tagged with Stream() — and releases it. This is
+// the single-copy read path: the payload is marshaled straight into
+// the frame and never copied again.
+func (r Responder) SendFrame(f *proto.Frame) error {
+	r.st.wmu.Lock()
+	err := r.st.conn.Send(f.Bytes())
+	r.st.wmu.Unlock()
+	f.Release()
+	return err
+}
+
+// serveState is the per-connection dispatch state shared by workers.
+type serveState struct {
+	conn transport.Conn
+	wmu  sync.Mutex
+}
+
+type job struct {
+	m   proto.Message
+	sid uint32
+}
+
+// Serve reads frames from conn and dispatches them to h until the
+// connection fails or a frame fails to decode. With Workers > 1,
+// requests run on a bounded worker pool — spawned on demand, capped at
+// Workers — and replies are written out of order, tagged by stream;
+// the frame reader blocks once every worker is busy, which is the
+// connection's backpressure. Serve returns only after every in-flight
+// handler has finished.
+func Serve(conn transport.Conn, h Handler, opt ServeOptions) {
+	st := &serveState{conn: conn}
+	if opt.Workers <= 1 {
+		for {
+			m, sid, err := recvOne(conn, opt)
+			if err != nil {
+				return
+			}
+			dispatch(h, m, Responder{st: st, sid: sid}, opt)
+		}
+	}
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	spawned := 0
+	defer func() {
+		close(jobs)
+		wg.Wait()
+	}()
+	for {
+		m, sid, err := recvOne(conn, opt)
+		if err != nil {
+			return
+		}
+		j := job{m: m, sid: sid}
+		if spawned < opt.Workers {
+			// Prefer an idle worker; grow the pool only when all are busy.
+			select {
+			case jobs <- j:
+				continue
+			default:
+			}
+			spawned++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					dispatch(h, j.m, Responder{st: st, sid: j.sid}, opt)
+				}
+			}()
+		}
+		jobs <- j
+	}
+}
+
+// recvOne reads and decodes the next request frame.
+func recvOne(conn transport.Conn, opt ServeOptions) (proto.Message, uint32, error) {
+	frame, err := conn.Recv()
+	if err != nil {
+		return nil, 0, err
+	}
+	m, sid, err := proto.UnmarshalStream(frame)
+	if err != nil {
+		if opt.OnError != nil {
+			opt.OnError(err)
+		}
+		return nil, 0, err
+	}
+	return m, sid, nil
+}
+
+// dispatch runs one request through the handler, tracing it and
+// sending the returned reply (if any).
+func dispatch(h Handler, m proto.Message, r Responder, opt ServeOptions) {
+	var sp *obs.Span
+	if opt.Tracer.Enabled() {
+		sp = opt.Tracer.Start("dispatch", fmt.Sprintf("%T sid=%d", m, r.Stream()))
+	}
+	reply := h(m, r)
+	if reply == nil {
+		sp.End("handled")
+		return
+	}
+	if err := r.Send(reply); err != nil {
+		sp.End("send failed")
+		return
+	}
+	if sp != nil {
+		sp.End(fmt.Sprintf("%T", reply))
+	}
+}

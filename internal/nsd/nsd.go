@@ -14,6 +14,7 @@ import (
 	"strings"
 	"sync"
 
+	"scalla/internal/mux"
 	"scalla/internal/proto"
 	"scalla/internal/transport"
 )
@@ -154,28 +155,18 @@ func (d *Daemon) Stop() {
 
 func (d *Daemon) serveConn(c transport.Conn) {
 	defer c.Close()
-	for {
-		frame, err := c.Recv()
-		if err != nil {
-			return
-		}
-		m, err := proto.Unmarshal(frame)
-		if err != nil {
-			return
-		}
-		var reply proto.Message
+	// Listing fans out to every server, so a few concurrent streams per
+	// connection overlap fan-outs nicely without needing a deep pool.
+	mux.Serve(c, func(m proto.Message, _ mux.Responder) proto.Message {
 		switch q := m.(type) {
 		case proto.List:
-			reply = proto.ListOK{Entries: d.List(q.Prefix)}
+			return proto.ListOK{Entries: d.List(q.Prefix)}
 		case proto.Ping:
-			reply = proto.Pong{}
+			return proto.Pong{}
 		default:
-			reply = proto.Err{Code: proto.EInval, Msg: "nsd: expected list"}
+			return proto.Err{Code: proto.EInval, Msg: "nsd: expected list"}
 		}
-		if err := transport.SendMessage(c, reply); err != nil {
-			return
-		}
-	}
+	}, mux.ServeOptions{Workers: 4})
 }
 
 // Tree renders the merged namespace under prefix as an indented tree,

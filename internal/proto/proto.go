@@ -5,8 +5,17 @@
 // instances (login, file queries, positive-only responses, load
 // reports). The data plane runs between clients and xrootd/cmsd
 // (locate/redirect, open/read/write/close/stat/prepare). A frame is one
-// message: a single kind byte followed by the message's fields in
-// big-endian order with varint-prefixed byte strings.
+// message: a single kind byte, a 4-byte big-endian stream ID, and the
+// message's fields in big-endian order with varint-prefixed byte
+// strings.
+//
+// The stream ID multiplexes many outstanding requests over one
+// connection (see internal/mux): a requester tags each frame with a
+// nonzero stream of its choosing, and a responder must echo the
+// request's stream on the reply so replies can be demultiplexed out of
+// order. Stream 0 is the lock-step default used by Marshal and
+// MarshalFrame; Unmarshal ignores the field, so single-stream callers
+// never see it.
 package proto
 
 import (
@@ -471,10 +480,27 @@ func (r *reader) bytes() []byte {
 		r.err = errTruncated
 		return nil
 	}
-	v := r.b[sz : sz+int(n)]
+	// Alias rather than copy, as rawBytes32 does; the frame belongs to
+	// the decoder's caller (string fields still copy via conversion).
+	v := r.b[sz : sz+int(n) : sz+int(n)]
 	r.b = r.b[sz+int(n):]
-	out := make([]byte, len(v))
-	copy(out, v)
+	return v
+}
+
+// rawBytes32 reads a fixed-width u32 length followed by that many raw
+// bytes — the tail layout of a Data frame. The returned slice aliases
+// the frame rather than copying it: every transport's Send copies, so
+// a frame handed out by Recv is exclusively the receiver's, and the
+// data plane saves one payload-sized copy + allocation per Read.
+// Callers that outlive the frame must copy.
+func (r *reader) rawBytes32() []byte {
+	n := r.u32()
+	if r.err != nil || uint64(n) > uint64(len(r.b)) {
+		r.err = errTruncated
+		return nil
+	}
+	out := r.b[:n:n]
+	r.b = r.b[n:]
 	return out
 }
 
@@ -493,16 +519,37 @@ func (r *reader) strs() []string {
 	return out
 }
 
-// Marshal encodes m into a freshly allocated frame. Hot paths that send
-// the frame immediately should prefer MarshalFrame, which recycles its
-// buffer through a pool.
+// headerLen is the fixed frame prefix: one kind byte plus the 4-byte
+// big-endian stream ID.
+const headerLen = 5
+
+// Marshal encodes m on stream 0 into a freshly allocated frame. Hot
+// paths that send the frame immediately should prefer MarshalFrame,
+// which recycles its buffer through a pool.
 func Marshal(m Message) []byte {
-	return appendMessage(make([]byte, 0, 64), m)
+	return MarshalStream(m, 0)
+}
+
+// MarshalStream encodes m tagged with the given stream ID into a
+// freshly allocated frame.
+func MarshalStream(m Message, stream uint32) []byte {
+	return appendMessage(make([]byte, 0, 64), m, stream)
+}
+
+// StreamID extracts the stream ID from an encoded frame without
+// decoding the message. Truncated frames report stream 0.
+func StreamID(frame []byte) uint32 {
+	if len(frame) < headerLen {
+		return 0
+	}
+	return binary.BigEndian.Uint32(frame[1:headerLen])
 }
 
 // maxPooledFrame bounds the capacity of buffers kept in the frame pool
-// so a single giant Data frame cannot pin memory forever.
-const maxPooledFrame = 64 << 10
+// so a single giant frame cannot pin memory forever. It comfortably
+// covers a 64 KiB read chunk plus the Data header, so the client's
+// default sequential-read chunk stays on the pooled path.
+const maxPooledFrame = 128 << 10
 
 // framePool recycles Frame buffers between MarshalFrame and Release.
 var framePool = sync.Pool{
@@ -533,19 +580,66 @@ func (f *Frame) Release() {
 	framePool.Put(f)
 }
 
-// MarshalFrame encodes m into a pooled frame; the caller must call
-// Release on the result once the bytes have been handed to a transport.
+// MarshalFrame encodes m on stream 0 into a pooled frame; the caller
+// must call Release on the result once the bytes have been handed to a
+// transport.
 func MarshalFrame(m Message) *Frame {
+	return MarshalFrameStream(m, 0)
+}
+
+// MarshalFrameStream encodes m tagged with the given stream ID into a
+// pooled frame; the caller must call Release on the result once the
+// bytes have been handed to a transport.
+func MarshalFrameStream(m Message, stream uint32) *Frame {
 	f := framePool.Get().(*Frame)
-	f.b = appendMessage(f.b[:0], m)
+	f.b = appendMessage(f.b[:0], m, stream)
 	return f
+}
+
+// StartDataFrame begins a single-copy Data frame on the given stream:
+// it returns a pooled frame pre-encoded up to the payload, plus a
+// payload destination slice of length n for the caller to fill in
+// place (typically while holding a store lock, so the bytes are copied
+// exactly once). The caller must then call FinishData with the number
+// of bytes actually written; releasing an unfinished frame is safe.
+func StartDataFrame(stream uint32, fh uint64, n int) (*Frame, []byte) {
+	f := framePool.Get().(*Frame)
+	w := writer{b: f.b[:0]}
+	w.u8(uint8(KData))
+	w.u32(stream)
+	w.u64(fh)
+	w.u8(0)          // EOF, patched by FinishData
+	w.u32(uint32(n)) // payload length, patched by FinishData
+	head := len(w.b)
+	if cap(w.b) < head+n {
+		grown := make([]byte, head+n)
+		copy(grown, w.b)
+		w.b = grown
+	} else {
+		w.b = w.b[:head+n]
+	}
+	f.b = w.b
+	return f, f.b[head:]
+}
+
+// FinishData completes a frame started with StartDataFrame: it trims
+// the payload to the n bytes actually written and stamps the EOF flag
+// into the header. n must not exceed the capacity requested at start.
+func (f *Frame) FinishData(n int, eof bool) {
+	head := headerLen + 8 + 1 + 4 // fh, eof, payload length
+	if eof {
+		f.b[headerLen+8] = 1
+	}
+	binary.BigEndian.PutUint32(f.b[headerLen+8+1:], uint32(n))
+	f.b = f.b[:head+n]
 }
 
 // appendMessage appends m's frame encoding to buf and returns the
 // extended slice.
-func appendMessage(buf []byte, m Message) []byte {
+func appendMessage(buf []byte, m Message, stream uint32) []byte {
 	w := writer{b: buf}
 	w.u8(uint8(m.Kind()))
+	w.u32(stream)
 	switch v := m.(type) {
 	case Login:
 		w.u8(uint8(v.Role))
@@ -605,9 +699,13 @@ func appendMessage(buf []byte, m Message) []byte {
 		w.i64(v.Off)
 		w.u32(v.N)
 	case Data:
+		// Data places the payload last, behind a fixed-width length, so
+		// StartDataFrame can reserve the header and fill the payload in
+		// place — the layouts must stay identical.
 		w.u64(v.FH)
-		w.bytes(v.Bytes)
 		w.boolean(v.EOF)
+		w.u32(uint32(len(v.Bytes)))
+		w.b = append(w.b, v.Bytes...)
 	case Write:
 		w.u64(v.FH)
 		w.i64(v.Off)
@@ -653,12 +751,20 @@ func appendMessage(buf []byte, m Message) []byte {
 	return w.b
 }
 
-// Unmarshal decodes one frame.
+// Unmarshal decodes one frame, discarding its stream ID.
 func Unmarshal(frame []byte) (Message, error) {
-	if len(frame) < 1 {
-		return nil, errTruncated
+	m, _, err := UnmarshalStream(frame)
+	return m, err
+}
+
+// UnmarshalStream decodes one frame and reports the stream ID it was
+// tagged with.
+func UnmarshalStream(frame []byte) (Message, uint32, error) {
+	if len(frame) < headerLen {
+		return nil, 0, errTruncated
 	}
-	r := reader{b: frame[1:]}
+	stream := binary.BigEndian.Uint32(frame[1:headerLen])
+	r := reader{b: frame[headerLen:]}
 	var m Message
 	switch Kind(frame[0]) {
 	case KLogin:
@@ -695,7 +801,9 @@ func Unmarshal(frame []byte) (Message, error) {
 	case KRead:
 		m = Read{FH: r.u64(), Off: r.i64(), N: r.u32()}
 	case KData:
-		m = Data{FH: r.u64(), Bytes: r.bytes(), EOF: r.boolean()}
+		d := Data{FH: r.u64(), EOF: r.boolean()}
+		d.Bytes = r.rawBytes32()
+		m = d
 	case KWrite:
 		m = Write{FH: r.u64(), Off: r.i64(), Bytes: r.bytes()}
 	case KWriteOK:
@@ -721,7 +829,7 @@ func Unmarshal(frame []byte) (Message, error) {
 	case KListOK:
 		n := r.u32()
 		if r.err != nil || uint64(n) > uint64(len(r.b)) {
-			return nil, errTruncated
+			return nil, 0, errTruncated
 		}
 		entries := make([]Entry, 0, n)
 		for i := uint32(0); i < n; i++ {
@@ -733,10 +841,10 @@ func Unmarshal(frame []byte) (Message, error) {
 	case KTruncOK:
 		m = TruncOK{FH: r.u64()}
 	default:
-		return nil, fmt.Errorf("proto: unknown kind %d", frame[0])
+		return nil, 0, fmt.Errorf("proto: unknown kind %d", frame[0])
 	}
 	if r.err != nil {
-		return nil, r.err
+		return nil, 0, r.err
 	}
-	return m, nil
+	return m, stream, nil
 }

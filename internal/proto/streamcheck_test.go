@@ -1,0 +1,95 @@
+package proto
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestEveryMessageTypeIsFuzzSeeded is a go-vet-style completeness check
+// built on go/ast: it collects every type in this package that declares
+// a Kind() method (i.e. every wire message) and every composite-literal
+// type seeded by all() in proto_test.go, and fails if a message type is
+// missing from the seed list. Since FuzzUnmarshal derives its corpus
+// from all() and asserts the stream ID round-trips, this guarantees a
+// newly added message type cannot ship without its stream-tagged
+// encoding being fuzzed.
+func TestEveryMessageTypeIsFuzzSeeded(t *testing.T) {
+	fset := token.NewFileSet()
+
+	kinds := map[string]token.Position{} // type name -> Kind() decl position
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, 0)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Kind" || fn.Recv == nil || len(fn.Recv.List) == 0 {
+				continue
+			}
+			if recv := receiverName(fn.Recv.List[0].Type); recv != "" {
+				kinds[recv] = fset.Position(fn.Pos())
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		t.Fatal("found no Kind() implementors; check the AST walk")
+	}
+
+	seeded := map[string]bool{}
+	f, err := parser.ParseFile(fset, "proto_test.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		fn, ok := n.(*ast.FuncDecl)
+		if !ok || fn.Name.Name != "all" {
+			return true
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				if id, ok := lit.Type.(*ast.Ident); ok {
+					seeded[id.Name] = true
+				}
+			}
+			return true
+		})
+		return false
+	})
+	if len(seeded) == 0 {
+		t.Fatal("found no composite literals in all(); check the AST walk")
+	}
+
+	for name, pos := range kinds {
+		if !seeded[name] {
+			t.Errorf("%s: message type %s has a Kind() method but is not seeded in all(); "+
+				"its stream-ID round trip is unfuzzed", pos, name)
+		}
+	}
+}
+
+// receiverName unwraps a method receiver type to its identifier.
+func receiverName(typ ast.Expr) string {
+	for {
+		switch v := typ.(type) {
+		case *ast.StarExpr:
+			typ = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -248,6 +248,42 @@ func (s *Store) ReadAt(path string, off int64, n int) (data []byte, eof bool, er
 	return out, eof, nil
 }
 
+// ReadAtInto copies up to len(dst) bytes at off into dst, returning
+// how many bytes were written. Unlike ReadAt it allocates nothing: the
+// caller supplies the destination (typically a pooled wire frame, so
+// the file bytes are copied exactly once, store to frame). Semantics
+// otherwise match ReadAt, including ErrStaging for offline files.
+func (s *Store) ReadAtInto(path string, off int64, dst []byte) (n int, eof bool, err error) {
+	s.mu.Lock()
+	d, ok := s.files[path]
+	if !ok {
+		_, inMSS := s.mss[path]
+		s.mu.Unlock()
+		if inMSS {
+			if _, serr := s.Stage(path); serr == nil {
+				return 0, false, ErrStaging
+			}
+		}
+		return 0, false, ErrNotFound
+	}
+	if off < 0 {
+		s.mu.Unlock()
+		return 0, false, fmt.Errorf("store: negative offset %d", off)
+	}
+	if off >= int64(len(d)) {
+		s.mu.Unlock()
+		return 0, true, nil
+	}
+	end := off + int64(len(dst))
+	if end >= int64(len(d)) {
+		end = int64(len(d))
+		eof = true
+	}
+	n = copy(dst, d[off:end])
+	s.mu.Unlock()
+	return n, eof, nil
+}
+
 // WriteAt writes data at off, growing the file (zero-filled gap) as
 // needed. The file must be online.
 func (s *Store) WriteAt(path string, off int64, data []byte) (int, error) {

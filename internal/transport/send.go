@@ -14,7 +14,14 @@ import "scalla/internal/proto"
 // copies into the peer's queue, and the fault-injecting wrapper copies
 // before any delayed/reordered delivery.
 func SendMessage(c Conn, m proto.Message) error {
-	f := proto.MarshalFrame(m)
+	return SendMessageStream(c, m, 0)
+}
+
+// SendMessageStream is SendMessage with the frame tagged by a stream
+// ID: the multiplexed reply path, used by responders that must echo a
+// request's stream so the peer can demultiplex out-of-order replies.
+func SendMessageStream(c Conn, m proto.Message, stream uint32) error {
+	f := proto.MarshalFrameStream(m, stream)
 	err := c.Send(f.Bytes())
 	f.Release()
 	return err

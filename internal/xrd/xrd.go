@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scalla/internal/mux"
+	"scalla/internal/obs"
 	"scalla/internal/proto"
 	"scalla/internal/store"
 	"scalla/internal/transport"
@@ -26,6 +28,12 @@ type Config struct {
 	// StageWaitMillis is the retry hint sent with Wait responses while a
 	// file stages. Default 300.
 	StageWaitMillis uint32
+	// Workers bounds how many requests from one connection execute
+	// concurrently (the stream-multiplexed dispatch of DESIGN.md §8).
+	// 1 serves strictly in order. Default 8.
+	Workers int
+	// Tracer, if set, records one span per dispatched request.
+	Tracer *obs.Tracer
 	// Logf, if set, receives debug logging.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +82,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.StageWaitMillis == 0 {
 		cfg.StageWaitMillis = 300
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -127,7 +138,9 @@ func (s *Server) Close() { s.closed.Store(true) }
 func (s *Server) handleConn(conn transport.Conn) {
 	defer conn.Close()
 	// Handles are per-connection in spirit; track the ones opened here
-	// so a dropped client leaks nothing.
+	// so a dropped client leaks nothing. Concurrent workers append
+	// under their own lock.
+	var mineMu sync.Mutex
 	var mine []uint64
 	defer func() {
 		s.mu.Lock()
@@ -136,42 +149,37 @@ func (s *Server) handleConn(conn transport.Conn) {
 		}
 		s.mu.Unlock()
 	}()
-	for {
-		frame, err := conn.Recv()
-		if err != nil {
-			return
-		}
+	mux.Serve(conn, func(msg proto.Message, r mux.Responder) proto.Message {
 		if s.closed.Load() {
-			return
-		}
-		msg, err := proto.Unmarshal(frame)
-		if err != nil {
-			s.cfg.Logf("xrd: bad frame from %s: %v", conn.RemoteAddr(), err)
-			return
+			return nil
 		}
 		s.inflight.Add(1)
-		reply, opened := s.dispatch(msg)
+		reply, opened := s.dispatch(msg, r)
 		s.inflight.Add(-1)
 		if opened != 0 {
+			mineMu.Lock()
 			mine = append(mine, opened)
+			mineMu.Unlock()
 		}
-		if reply == nil {
-			continue
-		}
-		if err := transport.SendMessage(conn, reply); err != nil {
-			return
-		}
-	}
+		return reply
+	}, mux.ServeOptions{
+		Workers: s.cfg.Workers,
+		Tracer:  s.cfg.Tracer,
+		OnError: func(err error) {
+			s.cfg.Logf("xrd: bad frame from %s: %v", conn.RemoteAddr(), err)
+		},
+	})
 }
 
 // dispatch handles one request, returning the reply and, for successful
-// opens, the issued handle.
-func (s *Server) dispatch(msg proto.Message) (reply proto.Message, opened uint64) {
+// opens, the issued handle. Reads reply through the responder's
+// single-copy frame path and return nil.
+func (s *Server) dispatch(msg proto.Message, r mux.Responder) (reply proto.Message, opened uint64) {
 	switch m := msg.(type) {
 	case proto.Open:
 		return s.open(m)
 	case proto.Read:
-		return s.read(m), 0
+		return s.read(m, r), 0
 	case proto.Write:
 		return s.write(m), 0
 	case proto.Trunc:
@@ -247,29 +255,51 @@ func (s *Server) lookup(fh uint64) (*handle, bool) {
 	return h, ok
 }
 
-func (s *Server) read(m proto.Read) proto.Message {
+// read serves a Read through the single-copy path: the payload is
+// copied from the store directly into a pooled, stream-tagged Data
+// frame (no intermediate buffer) and sent through the responder. Only
+// non-Data verdicts (wait, errors) come back as a reply message.
+func (s *Server) read(m proto.Read, r mux.Responder) proto.Message {
+	f, fallback := s.readFrame(m, r.Stream())
+	if f == nil {
+		return fallback
+	}
+	if err := r.SendFrame(f); err != nil {
+		s.cfg.Logf("xrd: read reply failed: %v", err)
+	}
+	return nil
+}
+
+// readFrame builds the single-copy Data frame for a Read, or returns
+// the non-Data verdict instead. The caller owns the returned frame.
+func (s *Server) readFrame(m proto.Read, stream uint32) (*proto.Frame, proto.Message) {
 	h, ok := s.lookup(m.FH)
 	if !ok {
-		return proto.Err{Code: proto.EInval, Msg: "bad file handle"}
+		return nil, proto.Err{Code: proto.EInval, Msg: "bad file handle"}
 	}
 	if m.N > transport.MaxFrame/2 {
 		m.N = transport.MaxFrame / 2
 	}
-	data, eof, err := s.cfg.Store.ReadAt(h.path, m.Off, int(m.N))
+	f, dst := proto.StartDataFrame(stream, m.FH, int(m.N))
+	n, eof, err := s.cfg.Store.ReadAtInto(h.path, m.Off, dst)
 	switch err {
 	case nil:
+		f.FinishData(n, eof)
 		s.reads.Add(1)
-		s.bytesRead.Add(int64(len(data)))
-		return proto.Data{FH: m.FH, Bytes: data, EOF: eof}
+		s.bytesRead.Add(int64(n))
+		return f, nil
 	case store.ErrStaging:
+		f.Release()
 		s.staged.Add(1)
-		return proto.Wait{Millis: s.cfg.StageWaitMillis}
+		return nil, proto.Wait{Millis: s.cfg.StageWaitMillis}
 	case store.ErrNotFound:
 		// The file vanished under the handle (deleted elsewhere). The
 		// client recovers with a cache refresh (Section III-C1).
-		return proto.Err{Code: proto.ENoEnt, Msg: "file removed"}
+		f.Release()
+		return nil, proto.Err{Code: proto.ENoEnt, Msg: "file removed"}
 	default:
-		return proto.Err{Code: proto.EIO, Msg: err.Error()}
+		f.Release()
+		return nil, proto.Err{Code: proto.EIO, Msg: err.Error()}
 	}
 }
 
