@@ -1,0 +1,272 @@
+package scalla
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"scalla/internal/backoff"
+	"scalla/internal/client"
+	"scalla/internal/faults"
+	"scalla/internal/obs"
+	"scalla/internal/transport"
+)
+
+// TestChaosProxyConvergesThroughFaults runs the federation behind an
+// edge proxy cache and attacks the proxy's weak point: the origin
+// changing behind its back. Files move between origin servers, get
+// deleted outright, and get rewritten through the proxy, all while the
+// network drops frames — and every client read must converge to
+// correct bytes (or a typed error for a truly-gone file) through the
+// refresh protocol, never by stalling in a full-delay miss-storm.
+//
+// Run it with:
+//
+//	go test -race -run Chaos -v .
+func TestChaosProxyConvergesThroughFaults(t *testing.T) {
+	seed := chaosSeed(t)
+	t.Cleanup(func() {
+		if t.Failed() {
+			os.WriteFile("chaos-failure-seed.txt", []byte(fmt.Sprintf("%d\n", seed)), 0o644)
+			t.Logf("chaos-proxy: failing seed %d written to chaos-failure-seed.txt", seed)
+		}
+	})
+	t.Logf("chaos-proxy: seed %d", seed)
+
+	tracer := obs.NewTracer(8192, nil)
+	tracer.SetEnabled(true)
+	fnet := faults.Wrap(transport.NewInProc(transport.InProcConfig{}), faults.Config{
+		Seed:   seed,
+		Tracer: tracer,
+	})
+
+	const (
+		nServers  = 8
+		nFiles    = 12
+		fileBytes = 96 << 10
+		fullDelay = 500 * time.Millisecond
+		pingEvery = 100 * time.Millisecond
+		missed    = 3
+		opBudget  = 12 * time.Second
+		// A miss-storm stalls a resolve by whole full-delay rounds; a
+		// refresh-protocol convergence costs walk round trips plus at
+		// most one flood. 8× the full delay is an ample envelope for
+		// the latter and far under the former's repeated stalls.
+		convergeBound = 8 * fullDelay
+		settleWait    = time.Duration(missed)*pingEvery + fullDelay
+	)
+
+	c, err := StartCluster(Options{
+		Servers:        nServers,
+		Fanout:         8,
+		Net:            fnet,
+		FullDelay:      fullDelay,
+		FastPeriod:     50 * time.Millisecond,
+		PingInterval:   pingEvery,
+		MissedPings:    missed,
+		DropDelay:      2 * time.Second,
+		ReconnectDelay: 25 * time.Millisecond,
+		Tracer:         tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	p, err := c.StartProxy(ProxyOptions{
+		Addr:       "edge:data",
+		RPCTimeout: 2 * time.Second,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	cl := client.New(client.Config{
+		Net:         fnet,
+		Managers:    []string{p.Addr()},
+		RPCTimeout:  2 * time.Second,
+		RPCAttempts: 3,
+		WaitBudget:  10 * time.Second,
+		Retry:       backoff.Policy{Base: 10 * time.Millisecond, Max: 200 * time.Millisecond},
+		RetrySeed:   seed,
+	})
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(seed ^ 0xedbe))
+	files := make(map[string][]byte)
+	holds := make(map[string]int)
+	paths := make([]string, 0, nFiles)
+	for i := 0; i < nFiles; i++ {
+		path := fmt.Sprintf("/edge/f%02d", i)
+		data := make([]byte, fileBytes)
+		rng.Read(data)
+		c.Store(i % nServers).Put(path, data)
+		files[path] = data
+		holds[path] = i % nServers
+		paths = append(paths, path)
+	}
+
+	// readConverged drives one read through the proxy with the client's
+	// prescribed recovery (refresh the edge and retry) and checks bytes.
+	readConverged := func(round, path string) error {
+		t.Helper()
+		deadline := time.Now().Add(opBudget)
+		var lastErr error
+		for {
+			data, err := cl.ReadFile(path)
+			if err == nil {
+				if !bytes.Equal(data, files[path]) {
+					t.Fatalf("chaos-proxy[%s]: %s corrupted through the edge", round, path)
+				}
+				return nil
+			}
+			if !typedChaosErr(err) {
+				t.Fatalf("chaos-proxy[%s]: %s failed with untyped error: %v", round, path, err)
+			}
+			lastErr = err
+			if time.Now().After(deadline) {
+				return lastErr
+			}
+			// Refresh flows through the proxy: it drops its own cached
+			// state and re-resolves upstream before answering.
+			cl.Relocate(path, false, "")
+		}
+	}
+
+	// Warm the edge, then verify a repeat sweep is absorbed there.
+	for _, path := range paths {
+		if err := readConverged("warmup", path); err != nil {
+			t.Fatalf("chaos-proxy: warm-up read of %s failed: %v", path, err)
+		}
+	}
+	base := p.Stats()
+	for _, path := range paths {
+		if err := readConverged("warm-sweep", path); err != nil {
+			t.Fatalf("chaos-proxy: warm sweep read of %s failed: %v", path, err)
+		}
+	}
+	if s := p.Stats(); s.OpenHits <= base.OpenHits {
+		t.Fatalf("chaos-proxy: warm sweep absorbed no opens at the edge: %+v", s)
+	}
+
+	const rounds = 6
+	for round := 0; round < rounds; round++ {
+		switch round % 3 {
+		case 0: // origin moves files behind the proxy's back
+			for k := 0; k < 3; k++ {
+				path := paths[rng.Intn(len(paths))]
+				from := holds[path]
+				to := rng.Intn(nServers)
+				if to == from {
+					to = (to + 1) % nServers
+				}
+				c.Store(to).Put(path, files[path])
+				c.Store(from).Unlink(path)
+				holds[path] = to
+				start := time.Now()
+				if err := readConverged("move", path); err != nil {
+					t.Errorf("chaos-proxy[move]: %s unreadable after move: %v", path, err)
+					continue
+				}
+				if d := time.Since(start); d > convergeBound {
+					t.Errorf("chaos-proxy[move]: %s converged in %v — smells like a miss-storm (full delay %v)",
+						path, d, fullDelay)
+				}
+			}
+
+		case 1: // drop storm across every link, reads keep converging
+			fnet.SetPlan(faults.Plan{Drop: 0.05})
+			for k := 0; k < 8; k++ {
+				path := paths[rng.Intn(len(paths))]
+				if err := readConverged("drop-storm", path); err != nil {
+					t.Errorf("chaos-proxy[drop-storm]: %s failed: %v; drops alone must always recover", path, err)
+				}
+			}
+			fnet.SetPlan(faults.Plan{})
+
+		case 2: // writes through the proxy invalidate its cache
+			path := paths[rng.Intn(len(paths))]
+			fresh := make([]byte, fileBytes/2)
+			rng.Read(fresh)
+			if err := cl.WriteFile(path, fresh); err != nil {
+				t.Errorf("chaos-proxy[write]: write-through of %s failed: %v", path, err)
+				continue
+			}
+			files[path] = fresh
+			if err := readConverged("write", path); err != nil {
+				t.Errorf("chaos-proxy[write]: %s unreadable after write-through: %v", path, err)
+			}
+		}
+	}
+
+	// Origin drops a file outright: the edge must surface a typed
+	// not-found inside the envelope, not hang on its stale entry.
+	gone := paths[rng.Intn(len(paths))]
+	c.Store(holds[gone]).Unlink(gone)
+	start := time.Now()
+	_, err = cl.ReadFile(gone)
+	if err == nil {
+		// The edge may serve one last answer from pre-drop cached state;
+		// the client's recovery refresh must then expose the truth.
+		cl.Relocate(gone, false, "")
+		_, err = cl.ReadFile(gone)
+	}
+	if err == nil {
+		t.Errorf("chaos-proxy[drop]: %s readable after origin dropped it and a refresh", gone)
+	} else if !typedChaosErr(err) {
+		t.Errorf("chaos-proxy[drop]: untyped error for dropped file: %v", err)
+	}
+	if d := time.Since(start); d > opBudget {
+		t.Errorf("chaos-proxy[drop]: missing-file verdict took %v", d)
+	}
+	delete(files, gone)
+	paths = paths[:0]
+	for path := range files {
+		paths = append(paths, path)
+	}
+
+	// Crash the origin server under a hot file that has a second
+	// replica; the edge must route around the corpse.
+	victim := holds[paths[0]]
+	second := (victim + 3) % nServers
+	c.Store(second).Put(paths[0], files[paths[0]])
+	dead := c.Servers[victim].DataAddr()
+	fnet.Sever(dead)
+	c.CrashServer(victim)
+	time.Sleep(settleWait)
+	start = time.Now()
+	if err := readConverged("crash", paths[0]); err != nil {
+		t.Errorf("chaos-proxy[crash]: %s unreadable with a live replica: %v", paths[0], err)
+	} else if d := time.Since(start); d > convergeBound {
+		t.Errorf("chaos-proxy[crash]: %s converged in %v — smells like a miss-storm", paths[0], d)
+	}
+	fnet.Heal(dead)
+	if err := c.RestartServer(victim); err != nil {
+		t.Fatalf("chaos-proxy[crash]: restart of server %d failed: %v", victim, err)
+	}
+	time.Sleep(settleWait)
+
+	// Healed final sweep: every surviving file reads back intact.
+	for _, path := range paths {
+		if err := readConverged("final", path); err != nil {
+			t.Errorf("chaos-proxy: %s never recovered after healing: %v", path, err)
+		}
+	}
+
+	s := p.Stats()
+	t.Logf("chaos-proxy: edge stats: %+v", s)
+	if s.Hits == 0 || s.OpenHits == 0 {
+		t.Errorf("chaos-proxy: the edge absorbed nothing: %+v", s)
+	}
+	if s.Invalidated == 0 {
+		t.Errorf("chaos-proxy: no entries were invalidated despite moves and writes: %+v", s)
+	}
+	if fst := fnet.Stats(); fst.Dropped == 0 {
+		t.Errorf("chaos-proxy: fault plan injected nothing: %+v", fst)
+	}
+}

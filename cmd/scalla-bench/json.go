@@ -40,6 +40,11 @@ type BenchResult struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	// MBPerSec is set only for data-plane throughput ops (read.seq.*).
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// HitRate and OriginOffload are set only for the proxy lifecycle
+	// replay (proxy.lifecycle): steady-state open hit ratio and the
+	// fraction of served bytes not pulled from origin.
+	HitRate       float64 `json:"hit_rate,omitempty"`
+	OriginOffload float64 `json:"origin_offload,omitempty"`
 }
 
 // BenchFile is the top-level document written to BENCH_<date>.json.
@@ -73,6 +78,11 @@ func runJSONBench(quick bool) (string, error) {
 		return "", err
 	}
 	out.Results = append(out.Results, e2e...)
+	lifecycle, err := benchLifecycle(quick)
+	if err != nil {
+		return "", err
+	}
+	out.Results = append(out.Results, lifecycle...)
 
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)
 	b, err := json.MarshalIndent(out, "", "  ")

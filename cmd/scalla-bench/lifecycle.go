@@ -1,0 +1,132 @@
+package main
+
+// The data-lifecycle replay benchmark: a Zipf(s=1.1) open/read stream
+// — the measured skew of scientific-data popularity — replayed through
+// an edge proxy cache in front of the e2e rig. It reports the
+// steady-state open latency split by edge hit vs miss (the paper's
+// repeat-open story at the proxy tier), the open hit-rate, and the
+// origin offload fraction; EXPERIMENTS.md tracks the curves.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"scalla/internal/client"
+	"scalla/internal/metrics"
+	"scalla/internal/pcache"
+	"scalla/internal/workload"
+)
+
+// benchLifecycle replays the lifecycle workload through a proxy and
+// returns proxy.open.hit, proxy.open.miss, and proxy.lifecycle rows.
+func benchLifecycle(quick bool) ([]BenchResult, error) {
+	rig, err := newE2ERig()
+	if err != nil {
+		return nil, err
+	}
+	defer rig.stop()
+
+	files := 64
+	draws := 2000
+	if quick {
+		files = 32
+		draws = 400
+	}
+	const fileBytes = 64 << 10
+	const readBytes = 32 << 10
+	dataset := make([]string, files)
+	body := make([]byte, fileBytes)
+	for i := range body {
+		body[i] = byte(i * 13)
+	}
+	for i := range dataset {
+		dataset[i] = fmt.Sprintf("/store/lc/file-%04d.root", i)
+		if err := rig.st.Put(dataset[i], body); err != nil {
+			return nil, err
+		}
+	}
+
+	p := pcache.New(pcache.Config{
+		Net:     rig.net,
+		Addr:    "edge:data",
+		Origins: []string{"mgr:data"},
+	})
+	if err := p.Start(); err != nil {
+		return nil, err
+	}
+	defer p.Close()
+
+	cl := client.New(client.Config{Net: rig.net, Managers: []string{p.Addr()}})
+	defer cl.Close()
+
+	z := workload.NewZipf(files, 1.1, 1)
+	buf := make([]byte, readBytes)
+	readOne := func(path string) (time.Duration, error) {
+		t0 := time.Now()
+		f, err := cl.Open(path)
+		lat := time.Since(t0)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		if _, err := f.ReadAt(buf, 0); err != nil && err != io.EOF {
+			return 0, err
+		}
+		return lat, nil
+	}
+
+	// Warmup: populate the edge so the measurement is steady state.
+	for i := 0; i < 2*files; i++ {
+		if _, err := readOne(dataset[z.Next()]); err != nil {
+			return nil, err
+		}
+	}
+
+	reg := metrics.NewRegistry()
+	hitLat := reg.Histogram("proxy.open.hit")
+	missLat := reg.Histogram("proxy.open.miss")
+	base := p.Stats()
+	start := time.Now()
+	for i := 0; i < draws; i++ {
+		before := p.Stats().OpenHits
+		lat, err := readOne(dataset[z.Next()])
+		if err != nil {
+			return nil, err
+		}
+		if p.Stats().OpenHits > before {
+			hitLat.Observe(lat)
+		} else {
+			missLat.Observe(lat)
+		}
+	}
+	elapsed := time.Since(start)
+	s := p.Stats()
+
+	row := func(op string, snap metrics.Snapshot) BenchResult {
+		return BenchResult{
+			Op: op, N: snap.Count,
+			P50US:     float64(snap.P50.Nanoseconds()) / 1e3,
+			P90US:     float64(snap.P90.Nanoseconds()) / 1e3,
+			P99US:     float64(snap.P99.Nanoseconds()) / 1e3,
+			OpsPerSec: float64(snap.Count) / elapsed.Seconds(),
+		}
+	}
+	hits := s.OpenHits - base.OpenHits
+	opens := hits + s.OpenMisses - base.OpenMisses
+	offload := pcache.Stats{
+		OriginBytes: s.OriginBytes - base.OriginBytes,
+		BytesServed: s.BytesServed - base.BytesServed,
+	}.OriginOffload()
+	out := []BenchResult{
+		row("proxy.open.hit", hitLat.Snapshot()),
+		row("proxy.open.miss", missLat.Snapshot()),
+		{
+			Op: "proxy.lifecycle", N: opens,
+			OpsPerSec:     float64(opens) / elapsed.Seconds(),
+			HitRate:       float64(hits) / float64(opens),
+			OriginOffload: offload,
+		},
+	}
+	return out, nil
+}

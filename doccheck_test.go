@@ -28,6 +28,7 @@ var docCheckedPackages = []string{
 	"internal/cache",
 	"internal/proto",
 	"internal/mux",
+	"internal/pcache",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

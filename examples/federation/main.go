@@ -104,4 +104,28 @@ func main() {
 	}
 	fmt.Printf("new dataset resolved to %s with zero reconfiguration\n", f.Server())
 	f.Close()
+
+	// Edge hop: a remote farm puts a proxy cache between its clients
+	// and the federation. Clients point at the proxy unmodified; the
+	// first read fills the edge from origin, repeats never leave it.
+	proxy, err := cl.StartProxy(scalla.ProxyOptions{Addr: "edge:data"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer proxy.Close()
+	ec := cl.NewProxyClient(proxy)
+	defer ec.Close()
+
+	fmt.Println("\nedge proxy in front of the federation:")
+	for pass := 1; pass <= 3; pass++ {
+		if _, err := ec.ReadFile(path); err != nil {
+			log.Fatal(err)
+		}
+		s := proxy.Stats()
+		fmt.Printf("  pass %d: open hits=%d misses=%d, block hits=%d, origin bytes=%d\n",
+			pass, s.OpenHits, s.OpenMisses, s.Hits, s.OriginBytes)
+	}
+	s := proxy.Stats()
+	fmt.Printf("edge absorbed the repeats: %.0f%% origin offload, %d invalidations\n",
+		100*s.OriginOffload(), s.Invalidated)
 }

@@ -85,6 +85,31 @@ type DataSummary struct {
 	Staged       int64 `json:"staged"` // waits issued for staging files
 }
 
+// PCacheSummary summarizes an edge proxy cache: the block-cache and
+// location-cache hit ratios plus the origin traffic the proxy absorbed,
+// so an operator can read the offload ratio straight off the stream.
+type PCacheSummary struct {
+	Entries    int   `json:"entries"`     // cached files with live block state
+	Blocks     int   `json:"blocks"`      // resident data blocks
+	BlockBytes int64 `json:"block_bytes"` // bytes held in the block cache
+
+	Hits      int64 `json:"hits"`       // reads served from resident blocks
+	Misses    int64 `json:"misses"`     // reads that had to fetch from origin
+	OpenHits  int64 `json:"open_hits"`  // opens satisfied without origin frames
+	OpenMiss  int64 `json:"open_miss"`  // opens that resolved through origin
+	LocHits   int64 `json:"loc_hits"`   // location answers from the edge cache
+	LocMisses int64 `json:"loc_misses"` // location answers walked to origin
+
+	OriginBytes   int64 `json:"origin_bytes"`   // data bytes pulled from origin
+	OriginOpens   int64 `json:"origin_opens"`   // opens issued to origin servers
+	OriginLocates int64 `json:"origin_locates"` // locate walks to origin managers
+	BytesServed   int64 `json:"bytes_served"`   // data bytes sent downstream
+
+	EvictedLRU    int64 `json:"evicted_lru"`    // blocks evicted for capacity
+	ExpiredWindow int64 `json:"expired_window"` // blocks expired by window ticks
+	Invalidated   int64 `json:"invalidated"`    // entries dropped as stale
+}
+
 // NetSummary carries the transport-layer frame/byte counters.
 type NetSummary struct {
 	FramesSent int64 `json:"frames_sent"`
@@ -115,6 +140,7 @@ type Frame struct {
 	RespQ    *RespQSummary        `json:"respq,omitempty"`
 	Cluster  *ClusterSummary      `json:"cluster,omitempty"`
 	Data     *DataSummary         `json:"data,omitempty"`
+	PCache   *PCacheSummary       `json:"pcache,omitempty"`
 	Net      *NetSummary          `json:"net,omitempty"`
 	Ops      map[string]OpSummary `json:"ops,omitempty"`
 	Counters map[string]int64     `json:"counters,omitempty"`
@@ -195,6 +221,15 @@ func (f Frame) String() string {
 	}
 	if d := f.Data; d != nil {
 		fmt.Fprintf(&b, " handles=%d reads=%d writes=%d", d.OpenHandles, d.Reads, d.Writes)
+	}
+	if p := f.PCache; p != nil {
+		total := p.Hits + p.Misses
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(p.Hits) / float64(total) * 100
+		}
+		fmt.Fprintf(&b, " pcache=%de/%db hit=%d(%.0f%%) miss=%d origin=%dB served=%dB",
+			p.Entries, p.Blocks, p.Hits, ratio, p.Misses, p.OriginBytes, p.BytesServed)
 	}
 	if n := f.Net; n != nil {
 		fmt.Fprintf(&b, " net=%df/%dB", n.FramesSent, n.BytesSent)

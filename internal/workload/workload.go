@@ -84,6 +84,15 @@ type JobConfig struct {
 	CreatesPerJob int
 	// PrepareCreates announces the output paths ahead of creation.
 	PrepareCreates bool
+	// ZipfS is the popularity exponent for file selection. Default 1.1,
+	// the skew measured in scientific-data access studies.
+	ZipfS float64
+	// DriftEvery rotates the working set every that many file draws
+	// (0 = static popularity); DriftStep is how far it rotates.
+	DriftEvery int
+	// DriftStep is the rotation distance per drift step. Default 1
+	// when DriftEvery is set.
+	DriftStep int
 }
 
 // Job is one unit of analysis work: the files it will touch.
@@ -93,23 +102,28 @@ type Job struct {
 }
 
 // GenerateJobs deals nJobs jobs over the dataset, each touching
-// cfg.FilesPerJob files chosen with a working-set skew (hot files are
-// touched more, like popular run ranges).
+// cfg.FilesPerJob files chosen with bounded-Zipf popularity (hot files
+// are touched more, like popular run ranges) and optional working-set
+// drift — see NewZipf.
 func GenerateJobs(dataset []string, nJobs int, cfg JobConfig, seed int64) []Job {
-	r := rand.New(rand.NewSource(seed))
+	s := cfg.ZipfS
+	if s <= 0 {
+		s = 1.1
+	}
+	z := NewZipf(len(dataset), s, seed)
+	if cfg.DriftEvery > 0 {
+		step := cfg.DriftStep
+		if step <= 0 {
+			step = 1
+		}
+		z.SetDrift(cfg.DriftEvery, step)
+	}
 	jobs := make([]Job, nJobs)
 	for j := range jobs {
 		jobs[j].ID = j
 		jobs[j].Paths = make([]string, cfg.FilesPerJob)
 		for k := range jobs[j].Paths {
-			// Zipf-ish skew: square the uniform draw to favour the
-			// front of the dataset.
-			u := r.Float64()
-			idx := int(u * u * float64(len(dataset)))
-			if idx >= len(dataset) {
-				idx = len(dataset) - 1
-			}
-			jobs[j].Paths[k] = dataset[idx]
+			jobs[j].Paths[k] = dataset[z.Next()]
 		}
 	}
 	return jobs

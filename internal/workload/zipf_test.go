@@ -1,0 +1,109 @@
+package workload
+
+import "testing"
+
+// TestZipfDeterministic pins seed-reproducibility: two samplers with
+// the same parameters emit identical streams.
+func TestZipfDeterministic(t *testing.T) {
+	a := NewZipf(100, 1.1, 7)
+	b := NewZipf(100, 1.1, 7)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// TestZipfShape checks the empirical frequencies track the power law:
+// rank 1 over rank 2 should approach 2^s, and the head should carry
+// far more mass than the tail.
+func TestZipfShape(t *testing.T) {
+	const n, draws = 50, 200000
+	s := 1.1
+	z := NewZipf(n, s, 1)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// P(0)/P(1) = 2^1.1 ≈ 2.14; allow generous sampling noise.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.8 || ratio > 2.6 {
+		t.Fatalf("rank-1/rank-2 frequency ratio %.2f, want ≈ 2.14", ratio)
+	}
+	head := counts[0] + counts[1] + counts[2]
+	tail := counts[n-3] + counts[n-2] + counts[n-1]
+	if head < 10*tail {
+		t.Fatalf("head %d not dominating tail %d; distribution not Zipf-like", head, tail)
+	}
+}
+
+// TestZipfBounds draws heavily and checks every index stays in range
+// across drift rotations.
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(17, 0.8, 3) // s < 1 must work (math/rand's Zipf can't)
+	z.SetDrift(10, 3)
+	seen := make([]bool, 17)
+	for i := 0; i < 50000; i++ {
+		idx := z.Next()
+		if idx < 0 || idx >= 17 {
+			t.Fatalf("draw %d out of range: %d", i, idx)
+		}
+		seen[idx] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("index %d never drawn despite drift over 50k draws", i)
+		}
+	}
+}
+
+// TestZipfDriftMovesHotSet checks that with drift enabled the most
+// popular index actually changes over time.
+func TestZipfDriftMovesHotSet(t *testing.T) {
+	const n = 20
+	z := NewZipf(n, 1.2, 5)
+	z.SetDrift(500, 7)
+	hot := func(draws int) int {
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[z.Next()]++
+		}
+		best := 0
+		for i, c := range counts {
+			if c > counts[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	first := hot(400) // within the first drift window
+	// Burn through several windows, then measure again.
+	for i := 0; i < 3000; i++ {
+		z.Next()
+	}
+	second := hot(400)
+	if first == second {
+		t.Fatalf("hot index did not move under drift: %d both times", first)
+	}
+}
+
+// TestGenerateJobsUsesDataset sanity-checks the replacement generator:
+// all paths valid, deterministic per seed.
+func TestGenerateJobsUsesDataset(t *testing.T) {
+	dataset := make([]string, 30)
+	for i := range dataset {
+		dataset[i] = string(rune('a' + i%26))
+	}
+	a := GenerateJobs(dataset, 10, JobConfig{FilesPerJob: 5}, 9)
+	b := GenerateJobs(dataset, 10, JobConfig{FilesPerJob: 5}, 9)
+	for j := range a {
+		for k := range a[j].Paths {
+			if a[j].Paths[k] != b[j].Paths[k] {
+				t.Fatalf("job %d path %d differs across identical seeds", j, k)
+			}
+			if a[j].Paths[k] == "" {
+				t.Fatalf("empty path in job %d", j)
+			}
+		}
+	}
+}

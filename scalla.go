@@ -33,6 +33,7 @@ import (
 	"scalla/internal/cmsd"
 	"scalla/internal/nsd"
 	"scalla/internal/obs"
+	"scalla/internal/pcache"
 	"scalla/internal/proto"
 	"scalla/internal/respq"
 	"scalla/internal/store"
@@ -396,4 +397,64 @@ func (c *Cluster) Namespace() *nsd.Daemon {
 		addrs[i] = s.DataAddr()
 	}
 	return nsd.New(c.Net, addrs...)
+}
+
+// Proxy is an edge proxy-cache daemon; see internal/pcache.
+type Proxy = pcache.Proxy
+
+// ProxyOptions configures StartProxy. Zero values take the pcache
+// defaults.
+type ProxyOptions struct {
+	// Addr is the address the proxy listens on; clients use it as
+	// their manager address. Default "pcache:data".
+	Addr string
+	// BlockSize is the data-cache block granularity.
+	BlockSize int
+	// CacheBytes caps resident block data.
+	CacheBytes int64
+	// BlockLifetime ages blocks out via the eviction windows.
+	BlockLifetime time.Duration
+	// OriginReadahead is the miss-fill window in blocks.
+	OriginReadahead int
+	// Workers bounds concurrent dispatch per downstream connection.
+	Workers int
+	// RPCTimeout bounds one origin exchange.
+	RPCTimeout time.Duration
+	// Tracer records proxy spans when enabled.
+	Tracer *obs.Tracer
+}
+
+// StartProxy starts an edge proxy cache in front of the cluster's
+// managers on the cluster's network. Clients created with
+// NewProxyClient (or any client whose Managers name the proxy's
+// address) resolve and read through it; repeat opens and hot reads are
+// absorbed at the edge.
+func (c *Cluster) StartProxy(o ProxyOptions) (*Proxy, error) {
+	if o.Addr == "" {
+		o.Addr = "pcache:data"
+	}
+	p := pcache.New(pcache.Config{
+		Net:             c.Net,
+		Addr:            o.Addr,
+		Origins:         c.ManagerAddrs(),
+		BlockSize:       o.BlockSize,
+		CacheBytes:      o.CacheBytes,
+		BlockLifetime:   o.BlockLifetime,
+		OriginReadahead: o.OriginReadahead,
+		Workers:         o.Workers,
+		RPCTimeout:      o.RPCTimeout,
+		Tracer:          o.Tracer,
+	})
+	if err := p.Start(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NewProxyClient returns a client aimed at an edge proxy instead of
+// the cluster's managers; everything else about the client — walks,
+// readahead, refresh recovery — works unmodified. Callers own the
+// client and should Close it.
+func (c *Cluster) NewProxyClient(p *Proxy) *Client {
+	return client.New(client.Config{Net: c.Net, Managers: []string{p.Addr()}})
 }
