@@ -1,0 +1,224 @@
+package main
+
+// Disk-backed data-plane rows for the -json suite: the same e2e rig as
+// e2e.go but with the server's store opened on a real filesystem
+// (tmpfs when /dev/shm is available, so the numbers measure the data
+// plane rather than device seek time). These back the STORAGE.md fsync
+// trade-off table and the write-window acceptance numbers in
+// EXPERIMENTS.md: read.seq.ra4.disk vs its mem twin isolates the
+// pread-into-frame cost, write.seq.win{1,4,8} shows the client write
+// window collapsing per-chunk round trips, and read.par8.disk is the
+// 8-concurrent-streams saturation row.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"scalla/internal/client"
+	"scalla/internal/metrics"
+	"scalla/internal/store"
+)
+
+// benchDiskRoot picks a root for the bench store, preferring tmpfs so
+// throughput reflects the software path, and returns a cleanup.
+func benchDiskRoot() (string, func(), error) {
+	base := ""
+	if fi, err := os.Stat("/dev/shm"); err == nil && fi.IsDir() {
+		base = "/dev/shm"
+	}
+	dir, err := os.MkdirTemp(base, "scalla-bench-")
+	if err != nil && base != "" {
+		dir, err = os.MkdirTemp("", "scalla-bench-")
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+// benchDisk runs the disk-backed rows and appends their results.
+func benchDisk(quick bool) ([]BenchResult, error) {
+	root, cleanup, err := benchDiskRoot()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	st, err := store.Open(store.Config{Root: root + "/data", Fsync: store.FsyncNever})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	rig, err := newE2ERigStore(e2eLatency, st)
+	if err != nil {
+		return nil, err
+	}
+	defer rig.stop()
+
+	fileMB := 8
+	if quick {
+		fileMB = 2
+	}
+	var out []BenchResult
+	r, err := benchReadSeq(rig, 4, fileMB, ".disk")
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, r)
+	for _, win := range []int{1, 4, 8} {
+		r, err := benchWriteSeq(rig, win, fileMB)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	par, err := benchReadPar(rig, 8, fileMB)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, par), nil
+}
+
+// benchWriteSeq streams a file to the server in 64 KiB chunks through
+// a write window of the given depth, measuring per-WriteAt latency and
+// end-to-end throughput (Flush included, so acked-not-arrived bytes
+// cannot flatter the number).
+func benchWriteSeq(rig *e2eRig, window, fileMB int) (BenchResult, error) {
+	path := fmt.Sprintf("/store/wseq%d.root", window)
+	if err := rig.st.Put(path, nil); err != nil {
+		return BenchResult{}, err
+	}
+	cl := client.New(client.Config{
+		Net: rig.net, Managers: []string{"mgr:data"}, WriteWindow: window,
+	})
+	defer cl.Close()
+	f, err := cl.OpenWrite(path)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	defer f.Close()
+
+	op := fmt.Sprintf("write.seq.win%d", window)
+	h := metrics.NewRegistry().Histogram(op)
+	chunk := make([]byte, 64<<10)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	total64 := int64(fileMB) << 20
+	const passes = 4
+	var total int64
+	var elapsed time.Duration
+	for pass := 0; pass <= passes; pass++ {
+		warm := pass > 0
+		start := time.Now()
+		for off := int64(0); off < total64; off += int64(len(chunk)) {
+			t0 := time.Now()
+			if _, err := f.WriteAt(chunk, off); err != nil {
+				return BenchResult{}, err
+			}
+			if warm {
+				h.Observe(time.Since(t0))
+			}
+		}
+		if err := f.Flush(); err != nil {
+			return BenchResult{}, err
+		}
+		if warm {
+			elapsed += time.Since(start)
+			total += total64
+		}
+	}
+	s := h.Snapshot()
+	return BenchResult{
+		Op: op, N: s.Count,
+		P50US:     float64(s.P50.Nanoseconds()) / 1e3,
+		P90US:     float64(s.P90.Nanoseconds()) / 1e3,
+		P99US:     float64(s.P99.Nanoseconds()) / 1e3,
+		OpsPerSec: float64(s.Count) / elapsed.Seconds(),
+		MBPerSec:  float64(total) / (1 << 20) / elapsed.Seconds(),
+	}, nil
+}
+
+// benchReadPar streams `streams` distinct disk-backed files at once,
+// one client and readahead-4 window each, reporting aggregate MB/s —
+// the "do 8 concurrent streams saturate tmpfs" acceptance row.
+func benchReadPar(rig *e2eRig, streams, fileMB int) (BenchResult, error) {
+	data := make([]byte, fileMB<<20)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	paths := make([]string, streams)
+	for g := range paths {
+		paths[g] = fmt.Sprintf("/store/par%d.root", g)
+		if err := rig.st.Put(paths[g], data); err != nil {
+			return BenchResult{}, err
+		}
+	}
+	op := fmt.Sprintf("read.par%d.disk", streams)
+	h := metrics.NewRegistry().Histogram(op)
+	const passes = 3
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		benchErr error
+	)
+	start := time.Now()
+	for g := 0; g < streams; g++ {
+		wg.Add(1)
+		go func(path string) {
+			defer wg.Done()
+			fail := func(err error) {
+				mu.Lock()
+				if benchErr == nil {
+					benchErr = err
+				}
+				mu.Unlock()
+			}
+			cl := client.New(client.Config{
+				Net: rig.net, Managers: []string{"mgr:data"}, Readahead: 4,
+			})
+			defer cl.Close()
+			f, err := cl.Open(path)
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer f.Close()
+			buf := make([]byte, 64<<10)
+			for pass := 0; pass < passes; pass++ {
+				if _, err := f.Seek(0, io.SeekStart); err != nil {
+					fail(err)
+					return
+				}
+				for {
+					t0 := time.Now()
+					_, err := f.Read(buf)
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						fail(err)
+						return
+					}
+					h.Observe(time.Since(t0))
+				}
+			}
+		}(paths[g])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if benchErr != nil {
+		return BenchResult{}, benchErr
+	}
+	s := h.Snapshot()
+	return BenchResult{
+		Op: op, N: s.Count,
+		P50US:     float64(s.P50.Nanoseconds()) / 1e3,
+		P90US:     float64(s.P90.Nanoseconds()) / 1e3,
+		P99US:     float64(s.P99.Nanoseconds()) / 1e3,
+		OpsPerSec: float64(s.Count) / elapsed.Seconds(),
+		MBPerSec:  float64(int64(streams)*int64(passes)*int64(len(data))) / (1 << 20) / elapsed.Seconds(),
+	}, nil
+}

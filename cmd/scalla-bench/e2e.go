@@ -35,9 +35,13 @@ type e2eRig struct {
 	stop func()
 }
 
-func newE2ERig() (*e2eRig, error) { return newE2ERigLat(e2eLatency) }
+func newE2ERig() (*e2eRig, error) { return newE2ERigStore(e2eLatency, store.New(store.Config{})) }
 
 func newE2ERigLat(lat time.Duration) (*e2eRig, error) {
+	return newE2ERigStore(lat, store.New(store.Config{}))
+}
+
+func newE2ERigStore(lat time.Duration, st *store.Store) (*e2eRig, error) {
 	net := transport.NewInProc(transport.InProcConfig{Latency: lat})
 	mgr, err := cmsd.NewNode(cmsd.NodeConfig{
 		Name: "mgr", Role: proto.RoleManager,
@@ -52,7 +56,6 @@ func newE2ERigLat(lat time.Duration) (*e2eRig, error) {
 	if err := mgr.Start(); err != nil {
 		return nil, err
 	}
-	st := store.New(store.Config{})
 	srv, err := cmsd.NewNode(cmsd.NodeConfig{
 		Name: "srv0", Role: proto.RoleServer,
 		DataAddr: "srv0:data", Parents: []string{"mgr:ctl"}, Prefixes: []string{"/"},
@@ -104,7 +107,7 @@ func benchE2E(quick bool) ([]BenchResult, error) {
 		fileMB = 2
 	}
 	for _, ra := range []int{1, 4, 8} {
-		r, err := benchReadSeq(rig, ra, fileMB)
+		r, err := benchReadSeq(rig, ra, fileMB, "")
 		if err != nil {
 			return nil, err
 		}
@@ -157,8 +160,8 @@ func benchOpenCached(rig *e2eRig, n int) (BenchResult, error) {
 // benchReadSeq streams a file sequentially in 64 KiB chunks with the
 // given readahead window, measuring per-Read latency and end-to-end
 // throughput.
-func benchReadSeq(rig *e2eRig, readahead, fileMB int) (BenchResult, error) {
-	path := fmt.Sprintf("/store/seq%d.root", readahead)
+func benchReadSeq(rig *e2eRig, readahead, fileMB int, suffix string) (BenchResult, error) {
+	path := fmt.Sprintf("/store/seq%d%s.root", readahead, suffix)
 	data := make([]byte, fileMB<<20)
 	for i := range data {
 		data[i] = byte(i)
@@ -176,7 +179,7 @@ func benchReadSeq(rig *e2eRig, readahead, fileMB int) (BenchResult, error) {
 		return BenchResult{}, err
 	}
 	defer f.Close()
-	op := fmt.Sprintf("read.seq.ra%d", readahead)
+	op := fmt.Sprintf("read.seq.ra%d%s", readahead, suffix)
 	h := metrics.NewRegistry().Histogram(op)
 	buf := make([]byte, 64<<10)
 	// One warmup pass (open, location cache, frame pools), then timed

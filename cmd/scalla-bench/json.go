@@ -78,6 +78,11 @@ func runJSONBench(quick bool) (string, error) {
 		return "", err
 	}
 	out.Results = append(out.Results, e2e...)
+	disk, err := benchDisk(quick)
+	if err != nil {
+		return "", err
+	}
+	out.Results = append(out.Results, disk...)
 	lifecycle, err := benchLifecycle(quick)
 	if err != nil {
 		return "", err

@@ -36,6 +36,9 @@ func main() {
 	basePort := flag.Int("base-port", 10000, "first server data port")
 	fullDelay := flag.Duration("full-delay", time.Second, "full delay")
 	stageDelay := flag.Duration("stage-delay", 2*time.Second, "simulated staging delay")
+	storeRoot := flag.String("store-root", "", "disk-backed store root; each server gets <root>/srvN (empty = in-memory)")
+	fsync := flag.String("fsync", "interval", "disk fsync policy: never | interval | always (see STORAGE.md)")
+	fsyncEvery := flag.Duration("fsync-every", time.Second, "flush period for -fsync=interval")
 	admin := flag.String("admin", "", "manager admin/status HTTP address (/statusz /metricsz /tracez)")
 	summary := flag.String("summary", "", "manager summary-stream UDP target (host:port)")
 	summaryEvery := flag.Duration("summary-every", 5*time.Second, "summary frame period")
@@ -73,12 +76,23 @@ func main() {
 	var addrs []string
 	for i := 0; i < *servers; i++ {
 		addr := fmt.Sprintf("127.0.0.1:%d", *basePort+i)
+		scfg := store.Config{StageDelay: *stageDelay}
+		if *storeRoot != "" {
+			scfg.Root = fmt.Sprintf("%s/srv%d", *storeRoot, i)
+			scfg.Fsync = store.FsyncPolicy(*fsync)
+			scfg.FsyncEvery = *fsyncEvery
+		}
+		st, err := store.Open(scfg)
+		if err != nil {
+			log.Fatalf("scalla-local: open store for srv%d: %v", i, err)
+		}
+		defer st.Close()
 		srv, err := cmsd.NewNode(cmsd.NodeConfig{
 			Name: fmt.Sprintf("srv%d", i), Role: proto.RoleServer,
 			DataAddr: addr,
 			Parents:  []string{*mgrCtl}, Prefixes: []string{"/"},
 			Net:   net,
-			Store: store.New(store.Config{StageDelay: *stageDelay}),
+			Store: st,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -58,6 +58,10 @@ func main() {
 	fastPeriod := flag.Duration("fast-period", 133*time.Millisecond, "fast response window")
 	lifetime := flag.Duration("lifetime", 8*time.Hour, "location object lifetime Lt")
 	stageDelay := flag.Duration("stage-delay", 2*time.Second, "simulated MSS staging delay")
+	storeRoot := flag.String("store-root", "", "disk-backed store root directory (server role; empty = in-memory)")
+	mssDir := flag.String("mss-dir", "", "MSS staging directory (default <store-root>.mss)")
+	fsync := flag.String("fsync", "interval", "disk fsync policy: never | interval | always (see STORAGE.md)")
+	fsyncEvery := flag.Duration("fsync-every", time.Second, "flush period for -fsync=interval")
 	admin := flag.String("admin", "", "admin/status HTTP address serving /statusz /metricsz /tracez")
 	summary := flag.String("summary", "", "summary-stream target: udp:host:port, tcp:host:port, or - for stdout")
 	summaryEvery := flag.Duration("summary-every", 10*time.Second, "summary frame period")
@@ -112,7 +116,17 @@ func main() {
 			log.Fatal("scallad: redirector roles require -ctl")
 		}
 	} else {
-		st := store.New(store.Config{StageDelay: *stageDelay})
+		st, err := store.Open(store.Config{
+			Root:       *storeRoot,
+			MSSDir:     *mssDir,
+			Fsync:      store.FsyncPolicy(*fsync),
+			FsyncEvery: *fsyncEvery,
+			StageDelay: *stageDelay,
+		})
+		if err != nil {
+			log.Fatalf("scallad: open store: %v", err)
+		}
+		defer st.Close()
 		if *preload != "" {
 			if err := loadDir(st, *preload, splitList(*exports)[0]); err != nil {
 				log.Fatalf("scallad: preload: %v", err)

@@ -29,6 +29,7 @@ var docCheckedPackages = []string{
 	"internal/proto",
 	"internal/mux",
 	"internal/pcache",
+	"internal/store",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

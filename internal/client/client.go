@@ -99,6 +99,17 @@ type Config struct {
 	// DESIGN.md §8). 1 disables readahead — every Read is a lock-step
 	// request/reply round trip. Default 4.
 	Readahead int
+	// WriteWindow is how many WriteAt requests a File keeps in flight
+	// before blocking on the oldest acknowledgment (the write mirror
+	// of Readahead; DESIGN.md §10). 1 (the default) is lock-step:
+	// every write waits for its WriteOK before returning. With a
+	// larger window WriteAt returns optimistically once the request
+	// is on the wire; a later failure is reported by Flush, by the
+	// next File operation, or at Close — there is no transparent
+	// recovery for pipelined writes (the client no longer holds the
+	// bytes), so callers that need the stronger guarantee keep the
+	// default.
+	WriteWindow int
 	// MaxInFlight bounds the concurrent streams multiplexed onto one
 	// pooled server connection; further requests queue. Default 64.
 	MaxInFlight int
@@ -130,6 +141,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Readahead <= 0 {
 		c.Readahead = 4
+	}
+	if c.WriteWindow <= 0 {
+		c.WriteWindow = 1
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
@@ -349,12 +363,22 @@ type File struct {
 	off   int64 // sequential read/write cursor
 	mu    sync.Mutex
 	ra    []raChunk // outstanding readahead window, ascending offsets
+	ww    []wwChunk // outstanding pipelined writes, issue order
+	werr  error     // sticky pipelined-write failure, cleared by Flush
 }
 
 // raChunk is one in-flight readahead request.
 type raChunk struct {
 	off  int64
 	n    uint32
+	call *mux.Call
+	mc   *mux.Conn
+}
+
+// wwChunk is one in-flight pipelined write awaiting its WriteOK.
+type wwChunk struct {
+	off  int64
+	n    int
 	call *mux.Call
 	mc   *mux.Conn
 }
@@ -570,6 +594,9 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.cancelReadahead()
+	if err := f.flushWrites(); err != nil {
+		return 0, err
+	}
 	return f.readAtLocked(p, off, true)
 }
 
@@ -616,6 +643,10 @@ func (f *File) readAtLocked(p []byte, off int64, mayRecover bool) (int, error) {
 func (f *File) Read(p []byte) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	// Read-your-writes: pipelined writes settle before any read.
+	if err := f.flushWrites(); err != nil {
+		return 0, err
+	}
 	var (
 		n   int
 		err error
@@ -656,11 +687,87 @@ func (f *File) Seek(offset int64, whence int) (int64, error) {
 	return pos, nil
 }
 
-// WriteAt implements io.WriterAt.
+// reapWrite settles the oldest in-flight pipelined write. Anything
+// but a full WriteOK — a transport error, a Wait verdict, a server
+// error, a short write — fails the whole window: the client no longer
+// holds the bytes of the writes behind it, so nothing can be replayed.
+// The failure is sticky in f.werr until Flush reports it. Caller
+// holds f.mu and guarantees the window is non-empty.
+func (f *File) reapWrite() error {
+	c := f.ww[0]
+	f.ww = f.ww[1:]
+	reply, err := c.call.Wait(f.cl.cfg.RPCTimeout)
+	if err != nil {
+		f.cl.pool.Drop(f.addr, c.mc)
+		f.failWindow(fmt.Errorf("%w: pipelined write at %d: %v", ErrIO, c.off, err))
+		return f.werr
+	}
+	switch r := reply.(type) {
+	case proto.WriteOK:
+		if int(r.N) != c.n {
+			f.failWindow(fmt.Errorf("%w: short pipelined write at %d: %d of %d bytes", ErrIO, c.off, r.N, c.n))
+			return f.werr
+		}
+		return nil
+	case proto.Wait:
+		// The file went into staging under the window. A lock-step
+		// write would sleep and retry; a pipelined one cannot (the
+		// bytes are gone), so the caller must rewrite after Flush.
+		f.failWindow(fmt.Errorf("%w: pipelined write at %d deferred by staging; rewrite after Flush", ErrIO, c.off))
+		return f.werr
+	case proto.Err:
+		f.failWindow(fmt.Errorf("pipelined write at %d: %w", c.off, errFrom(r)))
+		return f.werr
+	default:
+		f.failWindow(fmt.Errorf("%w: unexpected pipelined write reply %T", ErrIO, reply))
+		return f.werr
+	}
+}
+
+// failWindow abandons every in-flight pipelined write and records the
+// sticky error. Caller holds f.mu.
+func (f *File) failWindow(err error) {
+	for _, c := range f.ww {
+		c.call.Cancel()
+	}
+	f.ww = nil
+	f.werr = err
+}
+
+// flushWrites drains the pipelined-write window and returns (and
+// clears) any sticky failure. Caller holds f.mu.
+func (f *File) flushWrites() error {
+	for len(f.ww) > 0 && f.werr == nil {
+		f.reapWrite()
+	}
+	err := f.werr
+	f.werr = nil
+	return err
+}
+
+// Flush blocks until every pipelined write has been acknowledged,
+// returning the first failure (which covers every write issued since
+// the last Flush — on error the caller knows only that some suffix of
+// the window did not land). A lock-step File (WriteWindow 1) always
+// returns nil.
+func (f *File) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flushWrites()
+}
+
+// WriteAt implements io.WriterAt. With Config.WriteWindow > 1 writes
+// pipeline: WriteAt returns once the request is on the wire and up to
+// WriteWindow acknowledgments ride behind — mirroring the readahead
+// window, so batch loads aren't lock-step round trips. Failures
+// surface on a later call (see Flush).
 func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.cancelReadahead() // speculative reads may race the write
+	if f.cl.cfg.WriteWindow > 1 {
+		return f.writeAtPipelined(p, off)
+	}
 	reply, err := f.cl.rpc(f.addr, proto.Write{FH: f.fh, Off: off, Bytes: p})
 	if err != nil {
 		return 0, err
@@ -676,6 +783,48 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	default:
 		return 0, fmt.Errorf("%w: unexpected write reply %T", ErrIO, reply)
 	}
+}
+
+// writeAtPipelined issues one write into the window. Caller holds f.mu.
+func (f *File) writeAtPipelined(p []byte, off int64) (int, error) {
+	if f.werr != nil {
+		return 0, f.werr
+	}
+	// Opportunistically settle writes whose acks already arrived, so a
+	// streaming writer sees errors within a window's worth of bytes
+	// rather than only at Flush.
+	for len(f.ww) > 0 {
+		select {
+		case <-f.ww[0].call.Done():
+			if err := f.reapWrite(); err != nil {
+				return 0, err
+			}
+			continue
+		default:
+		}
+		break
+	}
+	// Block on the oldest ack once the window is full.
+	for len(f.ww) >= f.cl.cfg.WriteWindow {
+		if err := f.reapWrite(); err != nil {
+			return 0, err
+		}
+	}
+	mc, err := f.cl.pool.Get(f.addr)
+	if err != nil {
+		return 0, err
+	}
+	call, err := mc.Start(proto.Write{FH: f.fh, Off: off, Bytes: p})
+	if err != nil {
+		f.cl.pool.Drop(f.addr, mc)
+		return 0, err
+	}
+	f.ww = append(f.ww, wwChunk{off: off, n: len(p), call: call, mc: mc})
+	// Optimistic: the reap checks the ack covered every byte.
+	if end := off + int64(len(p)); end > f.size {
+		f.size = end
+	}
+	return len(p), nil
 }
 
 // Write implements io.Writer (sequential).
@@ -695,6 +844,9 @@ func (f *File) Truncate(size int64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.cancelReadahead()
+	if err := f.flushWrites(); err != nil {
+		return err
+	}
 	reply, err := f.cl.rpc(f.addr, proto.Trunc{FH: f.fh, Size: size})
 	if err != nil {
 		return err
@@ -710,12 +862,19 @@ func (f *File) Truncate(size int64) error {
 	}
 }
 
-// Close releases the remote handle, abandoning any readahead.
+// Close releases the remote handle, abandoning any readahead. It
+// flushes the pipelined-write window first; a flush failure is
+// reported after the handle is released, so no acked-but-failed write
+// goes unnoticed.
 func (f *File) Close() error {
 	f.mu.Lock()
 	f.cancelReadahead()
+	werr := f.flushWrites()
 	f.mu.Unlock()
 	reply, err := f.cl.rpc(f.addr, proto.Close{FH: f.fh})
+	if werr != nil {
+		return werr
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,202 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func (r *rig) windowClient(t *testing.T, window int) *Client {
+	cl := New(Config{Net: r.net, Managers: []string{"mgr:data"}, WriteWindow: window})
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// A pipelined sequential write round-trips byte-for-byte: the window
+// reorders nothing, Flush settles every ack, and a read sees it all.
+func TestWriteWindowRoundTrip(t *testing.T) {
+	r := buildCluster(t, 2)
+	cl := r.windowClient(t, 8)
+
+	f, err := cl.Create("/win/out.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for i := 0; i < 64; i++ {
+		chunk := bytes.Repeat([]byte{byte('a' + i%26)}, 777)
+		want.Write(chunk)
+		n, err := f.Write(chunk)
+		if err != nil || n != len(chunk) {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.ReadFile("/win/out.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), want.Len())
+	}
+}
+
+// Read-your-writes: a Read issued while a window is open flushes it
+// first, so the read observes every pipelined byte.
+func TestWriteWindowFlushesBeforeRead(t *testing.T) {
+	r := buildCluster(t, 1)
+	cl := r.windowClient(t, 4)
+
+	f, err := cl.Create("/win/ryw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := f.WriteAt([]byte("abcd"), int64(i*4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Flush: ReadAt itself must settle the window.
+	buf := make([]byte, 12)
+	n, err := f.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != 12 || string(buf) != "abcdabcdabcd" {
+		t.Fatalf("read-your-writes got %q (%d)", buf[:n], n)
+	}
+}
+
+// A server-side failure inside the window surfaces as a sticky error:
+// the next write (or Flush, or Close) reports it, and Flush clears it.
+func TestWriteWindowStickyError(t *testing.T) {
+	r := buildCluster(t, 1)
+	cl := r.windowClient(t, 4)
+
+	f, err := cl.Create("/win/err")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Yank the file out from under the open handle; the server answers
+	// pipelined writes for a vanished file with an error.
+	if err := r.stores[0].Unlink("/win/err"); err != nil {
+		t.Fatal(err)
+	}
+	var firstErr error
+	for i := 0; i < 32 && firstErr == nil; i++ {
+		_, firstErr = f.WriteAt([]byte("doomed"), int64(i*6))
+	}
+	if firstErr == nil {
+		firstErr = f.Flush()
+	}
+	if firstErr == nil {
+		t.Fatal("window against an unlinked file never failed")
+	}
+	if !errors.Is(firstErr, ErrNotExist) && !errors.Is(firstErr, ErrIO) {
+		t.Fatalf("window failure is untyped: %v", firstErr)
+	}
+	// The first Flush reports (and clears) the sticky failure; with
+	// the window drained, a second Flush must come back clean.
+	f.Flush()
+	if err := f.Flush(); err != nil {
+		t.Fatalf("sticky error survived Flush: %v", err)
+	}
+}
+
+// Close reports an unflushed window failure so no lost write goes
+// unnoticed even if the caller never reads or flushes.
+func TestWriteWindowCloseReportsFailure(t *testing.T) {
+	r := buildCluster(t, 1)
+	cl := r.windowClient(t, 8)
+
+	f, err := cl.Create("/win/closing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.stores[0].Unlink("/win/closing"); err != nil {
+		t.Fatal(err)
+	}
+	sawError := false
+	for i := 0; i < 4; i++ {
+		if _, err := f.WriteAt([]byte("x"), int64(i)); err != nil {
+			sawError = true
+		}
+	}
+	if err := f.Close(); err != nil {
+		sawError = true
+	}
+	if !sawError {
+		t.Fatal("all writes and Close succeeded against an unlinked file")
+	}
+}
+
+// WriteWindow 1 (the default) stays strictly lock-step: every WriteAt
+// returns only after its WriteOK, so errors surface on the failing
+// call itself.
+func TestWriteWindowDefaultIsLockStep(t *testing.T) {
+	r := buildCluster(t, 1)
+	cl := r.client(t)
+
+	f, err := cl.Create("/win/lockstep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("ok"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.stores[0].Unlink("/win/lockstep"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("fails now"), 2); err == nil {
+		t.Fatal("lock-step write against unlinked file succeeded")
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatalf("lock-step Flush must be a no-op, got %v", err)
+	}
+}
+
+// Interleaved windows on many files over one shared pooled connection
+// stay isolated: each file's acks settle against its own window.
+func TestWriteWindowManyFilesShareConnection(t *testing.T) {
+	r := buildCluster(t, 1)
+	cl := r.windowClient(t, 4)
+
+	files := make([]*File, 6)
+	for i := range files {
+		f, err := cl.Create(fmt.Sprintf("/win/multi%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = f
+	}
+	for round := 0; round < 10; round++ {
+		for i, f := range files {
+			chunk := bytes.Repeat([]byte{byte('A' + i)}, 100)
+			if _, err := f.Write(chunk); err != nil {
+				t.Fatalf("file %d round %d: %v", i, round, err)
+			}
+		}
+	}
+	for i, f := range files {
+		if err := f.Close(); err != nil {
+			t.Fatalf("close %d: %v", i, err)
+		}
+		got, err := cl.ReadFile(fmt.Sprintf("/win/multi%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bytes.Repeat([]byte{byte('A' + i)}, 1000)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("file %d: %d bytes, first %q", i, len(got), got[:1])
+		}
+	}
+}

@@ -58,6 +58,20 @@ func (n *Node) Frame() obs.Frame {
 			BytesRead: ds.BytesRead, BytesWritten: ds.BytesWritten,
 			Staged: ds.Staged,
 		}
+		if st := d.Store(); st != nil {
+			ss := st.Stats()
+			meanUS := int64(0)
+			if ss.Fsyncs > 0 {
+				meanUS = ss.FsyncNanos / ss.Fsyncs / 1000
+			}
+			f.Store = &obs.StoreSummary{
+				Backend: ss.Backend, Files: ss.Files, Offline: ss.Offline,
+				StageQ: ss.Staging, UsedBytes: ss.UsedBytes,
+				DirtyBytes: ss.DirtyBytes, Fsyncs: ss.Fsyncs,
+				FsyncMeanUS: meanUS, FsyncMaxUS: ss.FsyncMaxNanos / 1000,
+				StagedIn: ss.StagedIn, RecoveredAtUp: ss.Recovered,
+			}
+		}
 		f.Cluster = &obs.ClusterSummary{ParentsUp: n.ParentsUp()}
 	}
 	if cn, ok := n.cfg.Net.(*transport.CountingNetwork); ok {

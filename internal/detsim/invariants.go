@@ -54,4 +54,24 @@ func (s *Sim) checkInvariants() {
 		s.violate("respq waiter leak: %d registered != %d released + %d expired + %d parked",
 			st.Entries+st.Joins, st.ReleasedWaiters, st.ExpiredWaiters, s.parked)
 	}
+
+	// 4. Vp service fence: a file still being staged never serves
+	// bytes. The harness schedules each stage as an explicit interval
+	// (requestStage → evStage), so while a (server, path) is pending
+	// the server's store must still report it offline; and a store may
+	// never report a path both online and in its own staging set (the
+	// structural form the disk backend relies on — a file enters the
+	// online index only after the MSS move completes).
+	for k := range s.stagePending {
+		if k.sv.st.HasOnline(k.path) {
+			s.violate("s%d serves %s while it is still staging (Vp)", k.sv.id, k.path)
+		}
+	}
+	for _, sv := range s.servers {
+		for _, p := range sv.st.StagingPaths() {
+			if sv.st.HasOnline(p) {
+				s.violate("s%d store reports %s both online and staging", sv.id, p)
+			}
+		}
+	}
 }

@@ -116,6 +116,13 @@ func (s *Sim) requestStage(sv *server, path string) {
 		return
 	}
 	s.stageStarted[key] = true
+	s.stagePending[stageKey{sv, path}] = true
 	delay := stageBase + s.jitter(stageBase)
 	s.schedule(s.clk.Now().Add(delay), &event{kind: evStage, sv: sv, path: path})
+}
+
+// stageKey identifies one in-flight stage for the Vp service fence.
+type stageKey struct {
+	sv   *server
+	path string
 }

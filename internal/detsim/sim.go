@@ -124,6 +124,10 @@ type Sim struct {
 	refreshGuard map[string]time.Time
 	// stageStarted dedups staging requests per (server, path).
 	stageStarted map[string]bool
+	// stagePending holds the stages requested but not yet completed —
+	// the harness's Vp interval. Invariant 4 asserts no store serves
+	// bytes for a (server, path) inside it.
+	stagePending map[stageKey]bool
 
 	opsLeft    int
 	violations []string
@@ -169,6 +173,7 @@ func newSim(cfg Config) *Sim {
 		trace:        obs.NewTraceHash(),
 		refreshGuard: make(map[string]time.Time),
 		stageStarted: make(map[string]bool),
+		stagePending: make(map[stageKey]bool),
 	}
 	s.epoch = s.clk.Now()
 	s.endTime = s.epoch.Add(cfg.MaxSimTime)
@@ -418,6 +423,7 @@ func (s *Sim) restart(sv *server) {
 }
 
 func (s *Sim) stageDone(sv *server, path string) {
+	delete(s.stagePending, stageKey{sv, path})
 	if err := sv.st.Put(path, fileContent(path)); err != nil {
 		s.violate("stage promote failed on s%d: %v", sv.id, err)
 		return

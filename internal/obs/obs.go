@@ -85,6 +85,26 @@ type DataSummary struct {
 	Staged       int64 `json:"staged"` // waits issued for staging files
 }
 
+// StoreSummary summarizes a server's backing store: which backend,
+// how full, the stage-in queue, and — for the disk backend — the
+// durability picture an operator tunes with the fsync policy
+// (STORAGE.md): dirty bytes are the data at risk if power fails now,
+// and the fsync latency columns price the `always` policy.
+type StoreSummary struct {
+	Backend   string `json:"backend"` // "mem" or "disk"
+	Files     int    `json:"files"`
+	Offline   int    `json:"offline"`     // MSS-only files
+	StageQ    int    `json:"stage_queue"` // stage-ins in flight (Vp depth)
+	UsedBytes int64  `json:"used_bytes"`
+
+	DirtyBytes    int64 `json:"dirty_bytes"`     // written, not yet fsynced
+	Fsyncs        int64 `json:"fsyncs"`          // completed fsync calls
+	FsyncMeanUS   int64 `json:"fsync_mean_us"`   // mean fsync latency
+	FsyncMaxUS    int64 `json:"fsync_max_us"`    // slowest single fsync
+	StagedIn      int64 `json:"staged_in"`       // files promoted from MSS
+	RecoveredAtUp int   `json:"recovered_at_up"` // files found at startup
+}
+
 // PCacheSummary summarizes an edge proxy cache: the block-cache and
 // location-cache hit ratios plus the origin traffic the proxy absorbed,
 // so an operator can read the offload ratio straight off the stream.
@@ -140,6 +160,7 @@ type Frame struct {
 	RespQ    *RespQSummary        `json:"respq,omitempty"`
 	Cluster  *ClusterSummary      `json:"cluster,omitempty"`
 	Data     *DataSummary         `json:"data,omitempty"`
+	Store    *StoreSummary        `json:"store,omitempty"`
 	PCache   *PCacheSummary       `json:"pcache,omitempty"`
 	Net      *NetSummary          `json:"net,omitempty"`
 	Ops      map[string]OpSummary `json:"ops,omitempty"`
@@ -221,6 +242,16 @@ func (f Frame) String() string {
 	}
 	if d := f.Data; d != nil {
 		fmt.Fprintf(&b, " handles=%d reads=%d writes=%d", d.OpenHandles, d.Reads, d.Writes)
+	}
+	if s := f.Store; s != nil {
+		fmt.Fprintf(&b, " store=%s files=%d used=%dB", s.Backend, s.Files, s.UsedBytes)
+		if s.Backend == "disk" {
+			fmt.Fprintf(&b, " dirty=%dB fsync=%d(mean=%dµs max=%dµs)",
+				s.DirtyBytes, s.Fsyncs, s.FsyncMeanUS, s.FsyncMaxUS)
+		}
+		if s.StageQ > 0 || s.StagedIn > 0 {
+			fmt.Fprintf(&b, " stageq=%d staged=%d", s.StageQ, s.StagedIn)
+		}
 	}
 	if p := f.PCache; p != nil {
 		total := p.Hits + p.Misses

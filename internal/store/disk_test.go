@@ -1,0 +1,365 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"scalla/internal/vclock"
+)
+
+func openDiskStore(t *testing.T, cfg Config) (*Store, string) {
+	t.Helper()
+	root := filepath.Join(t.TempDir(), "data")
+	cfg.Root = root
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, root
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "data")
+	s, err := Open(Config{Root: root, Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("/a/b/file1", []byte("hello disk")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("/empty"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteAt("/empty", 3, []byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store over the same root recovers both files: contents,
+	// sizes, Used accounting, and the sparse zero-fill.
+	s2, err := Open(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, _, err := s2.ReadAt("/a/b/file1", 0, 64)
+	if err != nil || string(got) != "hello disk" {
+		t.Fatalf("recovered read: %q, %v", got, err)
+	}
+	got, _, err = s2.ReadAt("/empty", 0, 64)
+	if err != nil || !bytes.Equal(got, []byte{0, 0, 0, 'x', 'y', 'z'}) {
+		t.Fatalf("recovered sparse read: %v, %v", got, err)
+	}
+	if s2.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s2.Count())
+	}
+	if want := int64(10 + 6); s2.Used() != want {
+		t.Fatalf("Used = %d, want %d", s2.Used(), want)
+	}
+	if st := s2.Stats(); st.Backend != "disk" || st.Recovered != 2 {
+		t.Fatalf("stats = %+v, want disk/2 recovered", st)
+	}
+}
+
+func TestDiskStageMovesFileOnline(t *testing.T) {
+	s, root := openDiskStore(t, Config{StageDelay: 10 * time.Millisecond})
+	s.PutOffline("/tape/big", []byte("from the archive"))
+
+	mssPath := filepath.Join(root+".mss", "tape", "big")
+	if _, err := os.Stat(mssPath); err != nil {
+		t.Fatalf("offline file not in MSS dir: %v", err)
+	}
+	ch, err := s.Stage("/tape/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	// Stage-in is a move: present under root, gone from the MSS dir.
+	if _, err := os.Stat(filepath.Join(root, "tape", "big")); err != nil {
+		t.Fatalf("staged file not under root: %v", err)
+	}
+	if _, err := os.Stat(mssPath); !os.IsNotExist(err) {
+		t.Fatalf("staged file still in MSS dir: %v", err)
+	}
+	got, _, err := s.ReadAt("/tape/big", 0, 64)
+	if err != nil || string(got) != "from the archive" {
+		t.Fatalf("staged read: %q, %v", got, err)
+	}
+	if st := s.Stats(); st.StagedIn != 1 {
+		t.Fatalf("StagedIn = %d, want 1", st.StagedIn)
+	}
+}
+
+func TestDiskMSSDirPreloadedByOperator(t *testing.T) {
+	// The MSS contract: files an operator (or tape system) drops into
+	// the MSS directory before startup are offline-visible after Open.
+	base := t.TempDir()
+	root := filepath.Join(base, "data")
+	mss := filepath.Join(base, "mss")
+	if err := os.MkdirAll(filepath.Join(mss, "exp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mss, "exp", "run1"), []byte("cold data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Config{Root: root, MSSDir: mss, StageDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	info, err := s.Stat("/exp/run1")
+	if err != nil || info.Online || info.Size != 9 {
+		t.Fatalf("offline stat = %+v, %v", info, err)
+	}
+	ch, err := s.Stage("/exp/run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	got, _, err := s.ReadAt("/exp/run1", 0, 64)
+	if err != nil || string(got) != "cold data" {
+		t.Fatalf("staged read: %q, %v", got, err)
+	}
+}
+
+func TestDiskFsyncAlwaysCountsSyncs(t *testing.T) {
+	s, _ := openDiskStore(t, Config{Fsync: FsyncAlways})
+	if err := s.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.WriteAt("/f", int64(i*8), []byte("12345678")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Fsyncs < 4 {
+		t.Fatalf("Fsyncs = %d, want >= 4", st.Fsyncs)
+	}
+	if st.DirtyBytes != 0 {
+		t.Fatalf("DirtyBytes = %d after fsync=always writes", st.DirtyBytes)
+	}
+}
+
+func TestDiskFsyncNeverReportsDirtyBytes(t *testing.T) {
+	s, _ := openDiskStore(t, Config{Fsync: FsyncNever})
+	if err := s.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteAt("/f", 0, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Fsyncs != 0 {
+		t.Fatalf("Fsyncs = %d under fsync=never", st.Fsyncs)
+	}
+	if st.DirtyBytes != 1000 {
+		t.Fatalf("DirtyBytes = %d, want 1000 (the at-risk window)", st.DirtyBytes)
+	}
+	// An explicit Sync drains the window regardless of policy.
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DirtyBytes != 0 || st.Fsyncs == 0 {
+		t.Fatalf("post-Sync stats = %+v", st)
+	}
+}
+
+func TestDiskFsyncIntervalFlushes(t *testing.T) {
+	clk := vclock.NewFake()
+	s, _ := openDiskStore(t, Config{Fsync: FsyncInterval, FsyncEvery: time.Second, Clock: clk})
+	clk.BlockUntil(1) // the flusher's ticker is registered
+	if err := s.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteAt("/f", 0, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DirtyBytes != 512 {
+		t.Fatalf("DirtyBytes = %d before tick", st.DirtyBytes)
+	}
+	clk.Advance(time.Second)
+	// Poll on Fsyncs, not DirtyBytes: the flusher zeroes the dirty
+	// counter before the sync completes, so Fsyncs is the completion
+	// signal.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval flusher never ran: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := s.Stats(); st.DirtyBytes != 0 {
+		t.Fatalf("DirtyBytes = %d after interval flush", st.DirtyBytes)
+	}
+}
+
+func TestDiskRejectsBadFsyncPolicy(t *testing.T) {
+	_, err := Open(Config{Root: t.TempDir() + "/d", Fsync: "sometimes"})
+	if err == nil {
+		t.Fatal("bad fsync policy accepted")
+	}
+}
+
+func TestDiskPathTraversalStaysUnderRoot(t *testing.T) {
+	s, root := openDiskStore(t, Config{})
+	if err := s.Create("/../../escape"); err != nil {
+		t.Fatal(err)
+	}
+	// The ".." collapses against the logical root: the file must land
+	// under the store root, not beside it.
+	if _, err := os.Stat(filepath.Join(root, "escape")); err != nil {
+		t.Fatalf("cleaned path not under root: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(filepath.Dir(root), "escape")); !os.IsNotExist(err) {
+		t.Fatal("path traversal escaped the store root")
+	}
+}
+
+func TestDiskUnlinkRemovesBackingFile(t *testing.T) {
+	s, root := openDiskStore(t, Config{})
+	if err := s.Put("/x/y", []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unlink("/x/y"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "x", "y")); !os.IsNotExist(err) {
+		t.Fatalf("backing file survived unlink: %v", err)
+	}
+	if s.Used() != 0 || s.Count() != 0 {
+		t.Fatalf("Used=%d Count=%d after unlink", s.Used(), s.Count())
+	}
+}
+
+func TestDiskCapacityEnforced(t *testing.T) {
+	s, _ := openDiskStore(t, Config{Capacity: 100})
+	if err := s.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteAt("/f", 0, make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteAt("/f", 80, make([]byte, 40)); err != ErrNoSpace {
+		t.Fatalf("overflow write: %v, want ErrNoSpace", err)
+	}
+	if s.Free() != 20 {
+		t.Fatalf("Free = %d, want 20", s.Free())
+	}
+}
+
+func TestDiskClosedStoreRefusesWrites(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "data")
+	s, err := Open(Config{Root: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteAt("/f", 0, []byte("x")); err != ErrClosed {
+		t.Fatalf("write after close: %v, want ErrClosed", err)
+	}
+	if err := s.Close(); err != ErrClosed {
+		t.Fatalf("double close: %v, want ErrClosed", err)
+	}
+}
+
+func TestDiskUnlinkDuringStagingCancels(t *testing.T) {
+	s, root := openDiskStore(t, Config{StageDelay: 50 * time.Millisecond})
+	s.PutOffline("/t/f", []byte("data"))
+	ch, err := s.Stage("/t/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Unlink("/t/f"); err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	if s.Has("/t/f") || s.HasOnline("/t/f") {
+		t.Fatal("unlinked file resurfaced after cancelled stage")
+	}
+	if _, err := os.Stat(filepath.Join(root, "t", "f")); !os.IsNotExist(err) {
+		t.Fatal("cancelled stage left a file under root")
+	}
+}
+
+func TestDiskMSSDropWhileRunning(t *testing.T) {
+	// The other half of the MSS contract: a file dropped into the MSS
+	// directory while the server is RUNNING is discovered lazily on
+	// its first miss (has/stat/read), stages in, and serves.
+	base := t.TempDir()
+	mss := filepath.Join(base, "mss")
+	s, err := Open(Config{Root: filepath.Join(base, "data"), MSSDir: mss,
+		StageDelay: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Has("/exp/late") {
+		t.Fatal("phantom file before the drop")
+	}
+	if err := os.MkdirAll(filepath.Join(mss, "exp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mss, "exp", "late"), []byte("tape data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has("/exp/late") {
+		t.Fatal("runtime MSS drop not discovered by Has")
+	}
+	if info, err := s.Stat("/exp/late"); err != nil || info.Online || info.Size != 9 {
+		t.Fatalf("offline stat = %+v, %v", info, err)
+	}
+	// A read on the discovered file kicks the stage, like any offline
+	// read.
+	if _, _, err := s.ReadAt("/exp/late", 0, 4); err != ErrStaging {
+		t.Fatalf("read before stage: %v, want ErrStaging", err)
+	}
+	ch, err := s.Stage("/exp/late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ch
+	got, _, err := s.ReadAt("/exp/late", 0, 9)
+	if err != nil || string(got) != "tape data" {
+		t.Fatalf("post-stage read = %q, %v", got, err)
+	}
+}
+
+// BenchmarkDiskWriteAt measures a 64 KiB server-side write under each
+// fsync policy — the numbers behind STORAGE.md's durability trade-off
+// table. Offsets walk a 64 MiB window so interval/never runs exercise
+// steady-state dirty tracking rather than one hot page.
+func BenchmarkDiskWriteAt(b *testing.B) {
+	for _, pol := range []FsyncPolicy{FsyncNever, FsyncInterval, FsyncAlways} {
+		b.Run("fsync="+string(pol), func(b *testing.B) {
+			s, err := Open(Config{Root: filepath.Join(b.TempDir(), "data"), Fsync: pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			if err := s.Put("/bench", nil); err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 64<<10)
+			b.SetBytes(64 << 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := int64(i%1024) * int64(len(buf))
+				if _, err := s.WriteAt("/bench", off, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

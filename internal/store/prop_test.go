@@ -6,112 +6,230 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
-// Property: the store behaves like a map[string][]byte under random
-// create/write/read/truncate/unlink sequences.
-func TestPropStoreMatchesMapOracle(t *testing.T) {
-	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
-		s := New(Config{})
-		oracle := map[string][]byte{}
-		name := func() string { return fmt.Sprintf("/f%d", r.Intn(8)) }
+// backends enumerates the two store engines; every behavioural test
+// that can run against both should. The factory returns a fresh store
+// (disk stores get a per-call temp root so runs never share state).
+var backends = []struct {
+	name string
+	open func(t *testing.T, cfg Config) *Store
+}{
+	{"mem", func(t *testing.T, cfg Config) *Store {
+		return New(cfg)
+	}},
+	{"disk", func(t *testing.T, cfg Config) *Store {
+		cfg.Root = t.TempDir() + "/data"
+		s, err := Open(cfg)
+		if err != nil {
+			t.Fatalf("open disk store: %v", err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}},
+}
 
-		for op := 0; op < 200; op++ {
-			n := name()
-			switch r.Intn(5) {
-			case 0: // create
-				err := s.Create(n)
-				_, exists := oracle[n]
-				if exists != (err == ErrExists) {
-					t.Logf("create %s: err=%v exists=%v", n, err, exists)
-					return false
+// Property: the store behaves like a map[string][]byte under random
+// create/write/read/truncate/unlink sequences — identically for both
+// backends, so nothing above the store can tell them apart except by
+// durability.
+func TestPropStoreMatchesMapOracle(t *testing.T) {
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			t.Parallel()
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				s := be.open(t, Config{Fsync: FsyncNever})
+				defer s.Close()
+				oracle := map[string][]byte{}
+				name := func() string { return fmt.Sprintf("/f%d", r.Intn(8)) }
+
+				for op := 0; op < 200; op++ {
+					n := name()
+					switch r.Intn(5) {
+					case 0: // create
+						err := s.Create(n)
+						_, exists := oracle[n]
+						if exists != (err == ErrExists) {
+							t.Logf("create %s: err=%v exists=%v", n, err, exists)
+							return false
+						}
+						if err == nil {
+							oracle[n] = []byte{}
+						}
+					case 1: // write
+						if _, ok := oracle[n]; !ok {
+							continue
+						}
+						off := int64(r.Intn(64))
+						data := make([]byte, 1+r.Intn(64))
+						r.Read(data)
+						if _, err := s.WriteAt(n, off, data); err != nil {
+							t.Logf("write %s: %v", n, err)
+							return false
+						}
+						cur := oracle[n]
+						end := off + int64(len(data))
+						if end > int64(len(cur)) {
+							nd := make([]byte, end)
+							copy(nd, cur)
+							cur = nd
+						}
+						copy(cur[off:end], data)
+						oracle[n] = cur
+					case 2: // read
+						want, exists := oracle[n]
+						data, _, err := s.ReadAt(n, 0, 1<<20)
+						if !exists {
+							if err != ErrNotFound {
+								t.Logf("read missing %s: %v", n, err)
+								return false
+							}
+							continue
+						}
+						if err != nil || !bytes.Equal(data, want) {
+							t.Logf("read %s: %d bytes vs %d, err=%v", n, len(data), len(want), err)
+							return false
+						}
+					case 3: // truncate
+						if _, ok := oracle[n]; !ok {
+							continue
+						}
+						size := int64(r.Intn(96))
+						if err := s.Truncate(n, size); err != nil {
+							t.Logf("truncate %s: %v", n, err)
+							return false
+						}
+						cur := oracle[n]
+						if size <= int64(len(cur)) {
+							oracle[n] = cur[:size]
+						} else {
+							nd := make([]byte, size)
+							copy(nd, cur)
+							oracle[n] = nd
+						}
+					case 4: // unlink
+						err := s.Unlink(n)
+						_, exists := oracle[n]
+						if exists != (err == nil) {
+							t.Logf("unlink %s: err=%v exists=%v", n, err, exists)
+							return false
+						}
+						delete(oracle, n)
+					}
 				}
-				if err == nil {
-					oracle[n] = []byte{}
-				}
-			case 1: // write
-				if _, ok := oracle[n]; !ok {
-					continue
-				}
-				off := int64(r.Intn(64))
-				data := make([]byte, 1+r.Intn(64))
-				r.Read(data)
-				if _, err := s.WriteAt(n, off, data); err != nil {
-					t.Logf("write %s: %v", n, err)
-					return false
-				}
-				cur := oracle[n]
-				end := off + int64(len(data))
-				if end > int64(len(cur)) {
-					nd := make([]byte, end)
-					copy(nd, cur)
-					cur = nd
-				}
-				copy(cur[off:end], data)
-				oracle[n] = cur
-			case 2: // read
-				want, exists := oracle[n]
-				data, _, err := s.ReadAt(n, 0, 1<<20)
-				if !exists {
-					if err != ErrNotFound {
-						t.Logf("read missing %s: %v", n, err)
+				// Final audit: byte-for-byte agreement plus accounting.
+				var want int64
+				for n, data := range oracle {
+					got, _, err := s.ReadAt(n, 0, 1<<20)
+					if err != nil || !bytes.Equal(got, data) {
+						t.Logf("final read %s mismatch", n)
 						return false
 					}
-					continue
+					want += int64(len(data))
 				}
-				if err != nil || !bytes.Equal(data, want) {
-					t.Logf("read %s: %d bytes vs %d, err=%v", n, len(data), len(want), err)
+				if s.Count() != len(oracle) {
+					t.Logf("Count = %d, oracle %d", s.Count(), len(oracle))
 					return false
 				}
-			case 3: // truncate
-				if _, ok := oracle[n]; !ok {
-					continue
-				}
-				size := int64(r.Intn(96))
-				if err := s.Truncate(n, size); err != nil {
-					t.Logf("truncate %s: %v", n, err)
+				if s.Used() != want {
+					t.Logf("Used = %d, oracle %d", s.Used(), want)
 					return false
 				}
-				cur := oracle[n]
-				if size <= int64(len(cur)) {
-					oracle[n] = cur[:size]
-				} else {
-					nd := make([]byte, size)
-					copy(nd, cur)
-					oracle[n] = nd
-				}
-			case 4: // unlink
-				err := s.Unlink(n)
-				_, exists := oracle[n]
-				if exists != (err == nil) {
-					t.Logf("unlink %s: err=%v exists=%v", n, err, exists)
-					return false
-				}
-				delete(oracle, n)
+				return true
 			}
-		}
-		// Final audit: byte-for-byte agreement plus accounting.
-		var want int64
-		for n, data := range oracle {
-			got, _, err := s.ReadAt(n, 0, 1<<20)
-			if err != nil || !bytes.Equal(got, data) {
-				t.Logf("final read %s mismatch", n)
-				return false
+			cfg := &quick.Config{MaxCount: 30}
+			if be.name == "disk" && testing.Short() {
+				cfg.MaxCount = 5
 			}
-			want += int64(len(data))
-		}
-		if s.Count() != len(oracle) {
-			t.Logf("Count = %d, oracle %d", s.Count(), len(oracle))
-			return false
-		}
-		if s.Used() != want {
-			t.Logf("Used = %d, oracle %d", s.Used(), want)
-			return false
-		}
-		return true
+			if err := quick.Check(f, cfg); err != nil {
+				t.Error(err)
+			}
+		})
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
-		t.Error(err)
+}
+
+// Property: ReadAtInto agrees byte-for-byte with ReadAt at random
+// offsets and lengths, on both backends. This is the single-copy path
+// xrd's frame build depends on.
+func TestPropReadAtIntoMatchesReadAt(t *testing.T) {
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			t.Parallel()
+			r := rand.New(rand.NewSource(7))
+			s := be.open(t, Config{Fsync: FsyncNever})
+			defer s.Close()
+			data := make([]byte, 4096)
+			r.Read(data)
+			if err := s.Put("/f", data); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 200; i++ {
+				off := int64(r.Intn(5000))
+				n := r.Intn(600)
+				want, wantEOF, werr := s.ReadAt("/f", off, n)
+				dst := make([]byte, n)
+				gn, gotEOF, gerr := s.ReadAtInto("/f", off, dst)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("off=%d n=%d: err %v vs %v", off, n, werr, gerr)
+				}
+				if gn != len(want) || !bytes.Equal(dst[:gn], want) {
+					t.Fatalf("off=%d n=%d: %d bytes vs %d", off, n, gn, len(want))
+				}
+				if wantEOF != gotEOF {
+					t.Fatalf("off=%d n=%d: eof %v vs %v", off, n, wantEOF, gotEOF)
+				}
+			}
+		})
+	}
+}
+
+// Property: staging semantics agree across backends — an offline file
+// read returns ErrStaging, the Stage channel closes after StageDelay,
+// and only then does the file serve bytes.
+func TestPropStagingAcrossBackends(t *testing.T) {
+	for _, be := range backends {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			t.Parallel()
+			s := be.open(t, Config{StageDelay: 20 * time.Millisecond, Fsync: FsyncNever})
+			defer s.Close()
+			s.PutOffline("/tape/a", []byte("archived bytes"))
+			if s.HasOnline("/tape/a") {
+				t.Fatal("offline file reports online")
+			}
+			if !s.Has("/tape/a") {
+				t.Fatal("offline file not visible")
+			}
+			if _, _, err := s.ReadAt("/tape/a", 0, 16); err != ErrStaging {
+				t.Fatalf("read offline: %v, want ErrStaging", err)
+			}
+			if !s.IsStaging("/tape/a") {
+				t.Fatal("read did not kick staging")
+			}
+			// The Vp contract: no bytes served while staging.
+			if s.HasOnline("/tape/a") {
+				t.Fatal("file online while staging")
+			}
+			ch, err := s.Stage("/tape/a")
+			if err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case <-ch:
+			case <-time.After(5 * time.Second):
+				t.Fatal("stage never completed")
+			}
+			got, _, err := s.ReadAt("/tape/a", 0, 64)
+			if err != nil || string(got) != "archived bytes" {
+				t.Fatalf("post-stage read: %q, %v", got, err)
+			}
+			if s.IsStaging("/tape/a") {
+				t.Fatal("still staging after completion")
+			}
+		})
 	}
 }

@@ -1,5 +1,5 @@
-// Package store implements a data server's backing store: an in-memory
-// POSIX-like file store plus a simulated Mass Storage System (MSS).
+// Package store implements a data server's backing store: a POSIX-like
+// file store plus a Mass Storage System (MSS) staging tier.
 //
 // The paper's data servers keep files on the host's native file system
 // and may front a tape archive: a requested file that exists only in
@@ -8,6 +8,15 @@
 // to wait. The store reproduces that behaviour with a configurable
 // staging delay so benchmarks can exercise the Vp/prepare paths the
 // paper describes (Sections II-B2, III-B2).
+//
+// Two backends share one interface. The default is an in-memory map
+// (fast, hermetic — what every simulation and most tests want). Setting
+// Config.Root selects the disk backend: real files under Root, an MSS
+// staging directory whose stage-in moves files online, and a
+// configurable fsync policy. Both backends satisfy the same map-oracle
+// property test (prop_test.go), so code above the store cannot tell
+// them apart except by durability. See STORAGE.md for the operator
+// view and DESIGN.md §10 for the data plane.
 package store
 
 import (
@@ -28,7 +37,36 @@ var (
 	ErrStaging  = errors.New("store: file is being staged from mass storage")
 	ErrOffline  = errors.New("store: file is offline in mass storage")
 	ErrNoSpace  = errors.New("store: no space left")
+	ErrClosed   = errors.New("store: store is closed")
 )
+
+// FsyncPolicy selects when the disk backend flushes dirty file data to
+// stable storage. The in-memory backend ignores it.
+type FsyncPolicy string
+
+// The three fsync policies. Empty means FsyncInterval.
+const (
+	// FsyncNever leaves flushing entirely to the OS page-cache
+	// writeback. Fastest; a power loss can drop every acknowledged
+	// write still in the cache (Stats.DirtyBytes bounds the exposure).
+	FsyncNever FsyncPolicy = "never"
+	// FsyncInterval runs a background flusher that syncs every dirty
+	// file each Config.FsyncEvery. Bounded loss window, near-zero
+	// per-write cost. This is the default.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncAlways syncs after every WriteAt/Truncate/Put before
+	// acknowledging. No acknowledged write is ever lost to power
+	// failure, at the cost of an fsync on the write path.
+	FsyncAlways FsyncPolicy = "always"
+)
+
+func (p FsyncPolicy) valid() bool {
+	switch p {
+	case "", FsyncNever, FsyncInterval, FsyncAlways:
+		return true
+	}
+	return false
+}
 
 // Info describes one file.
 type Info struct {
@@ -37,8 +75,49 @@ type Info struct {
 	Online bool // false: exists only in mass storage
 }
 
+// Stats is a point-in-time snapshot of store health, surfaced through
+// the obs summary stream (dirty bytes, fsync latency, stage queue).
+type Stats struct {
+	// Backend is "mem" or "disk".
+	Backend string
+	// Files is the number of online files; Offline the number that
+	// exist only in mass storage; Staging the stage-in queue depth.
+	Files   int
+	Offline int
+	Staging int
+	// UsedBytes is the logical bytes of online data.
+	UsedBytes int64
+	// DirtyBytes is written-but-not-yet-fsynced data — the bytes at
+	// risk if power fails now. Always 0 for the mem backend.
+	DirtyBytes int64
+	// Fsyncs counts completed fsync calls; FsyncNanos their total
+	// duration and FsyncMaxNanos the slowest single call.
+	Fsyncs        int64
+	FsyncNanos    int64
+	FsyncMaxNanos int64
+	// StagedIn counts files promoted online from the MSS directory
+	// since open; Recovered counts files found under Root at open.
+	StagedIn  int64
+	Recovered int
+}
+
 // Config parameterizes a Store.
 type Config struct {
+	// Root, when set, selects the disk backend: files live under this
+	// directory (created if missing), survive restarts, and are
+	// recovered by Open. Empty selects the in-memory backend.
+	Root string
+	// MSSDir is the disk backend's mass-storage staging directory: a
+	// file placed here (by an operator, a tape system, or
+	// PutOffline) is "offline" until staged in, at which point it is
+	// moved under Root. Default: Root + ".mss" (a sibling directory,
+	// so the namespace under Root is never shadowed).
+	MSSDir string
+	// Fsync selects the disk backend's durability policy. Default
+	// FsyncInterval.
+	Fsync FsyncPolicy
+	// FsyncEvery is the FsyncInterval flush period. Default 1 s.
+	FsyncEvery time.Duration
 	// Capacity bounds the total bytes of online data. 0 means unlimited.
 	Capacity int64
 	// StageDelay is how long staging a file from mass storage takes.
@@ -60,13 +139,24 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
 	}
+	if c.Root != "" && c.MSSDir == "" {
+		c.MSSDir = c.Root + ".mss"
+	}
+	if c.Fsync == "" {
+		c.Fsync = FsyncInterval
+	}
+	if c.FsyncEvery <= 0 {
+		c.FsyncEvery = time.Second
+	}
 	return c
 }
 
-// Store is an in-memory file store with an attached simulated MSS.
-// It is safe for concurrent use.
+// Store is a file store with an attached MSS staging tier. It is safe
+// for concurrent use. The zero value is not usable; call New or Open.
 type Store struct {
 	cfg Config
+
+	d *diskStore // non-nil: disk backend; all methods dispatch to it
 
 	mu      sync.Mutex
 	files   map[string][]byte // online data
@@ -75,19 +165,103 @@ type Store struct {
 	used    int64
 }
 
-// New returns an empty Store.
+// New returns an empty in-memory Store, or a disk-backed one when
+// cfg.Root is set. Disk open errors panic; daemons that want to handle
+// them call Open instead.
 func New(cfg Config) *Store {
-	return &Store{
-		cfg:     cfg.withDefaults(),
+	s, err := Open(cfg)
+	if err != nil {
+		panic("store: " + err.Error())
+	}
+	return s
+}
+
+// Open returns a Store for cfg, recovering any files already present
+// under cfg.Root when the disk backend is selected.
+func Open(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.Fsync.valid() {
+		return nil, fmt.Errorf("store: unknown fsync policy %q", cfg.Fsync)
+	}
+	s := &Store{
+		cfg:     cfg,
 		files:   make(map[string][]byte),
 		mss:     make(map[string][]byte),
 		staging: make(map[string]chan struct{}),
 	}
+	if cfg.Root != "" {
+		d, err := openDisk(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.d = d
+	}
+	return s, nil
+}
+
+// Close releases the store: the disk backend stops its interval
+// flusher, performs a final sync, and closes every file descriptor.
+// The in-memory backend is a no-op. Further calls fail with ErrClosed.
+func (s *Store) Close() error {
+	if s.d != nil {
+		return s.d.close()
+	}
+	return nil
+}
+
+// Sync forces all dirty data to stable storage regardless of the fsync
+// policy. The in-memory backend is a no-op.
+func (s *Store) Sync() error {
+	if s.d != nil {
+		return s.d.syncAll()
+	}
+	return nil
+}
+
+// Stats returns a snapshot of store health.
+func (s *Store) Stats() Stats {
+	if s.d != nil {
+		return s.d.stats()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	off := 0
+	for p := range s.mss {
+		if _, online := s.files[p]; !online {
+			off++
+		}
+	}
+	return Stats{
+		Backend:   "mem",
+		Files:     len(s.files),
+		Offline:   off,
+		Staging:   len(s.staging),
+		UsedBytes: s.used,
+	}
+}
+
+// StagingPaths returns the paths currently being staged in, sorted. It
+// backs the detsim invariant that a file in Vp never serves bytes.
+func (s *Store) StagingPaths() []string {
+	if s.d != nil {
+		return s.d.stagingPaths()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.staging))
+	for p := range s.staging {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Put places an online file, replacing any existing content. It is the
 // loader used by workload generators.
 func (s *Store) Put(path string, data []byte) error {
+	if s.d != nil {
+		return s.d.put(path, data)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old := int64(len(s.files[path]))
@@ -100,8 +274,12 @@ func (s *Store) Put(path string, data []byte) error {
 	return nil
 }
 
-// PutOffline places a file in the simulated mass storage only.
+// PutOffline places a file in mass storage only.
 func (s *Store) PutOffline(path string, data []byte) {
+	if s.d != nil {
+		s.d.putOffline(path, data)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cp := make([]byte, len(data))
@@ -124,6 +302,9 @@ func (s *Store) reserve(delta int64) error {
 // Create makes a new empty online file. It fails with ErrExists if the
 // path exists online or in mass storage.
 func (s *Store) Create(path string) error {
+	if s.d != nil {
+		return s.d.create(path)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.files[path]; ok {
@@ -139,6 +320,9 @@ func (s *Store) Create(path string) error {
 // Stat reports metadata for path. A staged-out file reports
 // Online=false.
 func (s *Store) Stat(path string) (Info, error) {
+	if s.d != nil {
+		return s.d.stat(path)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if d, ok := s.files[path]; ok {
@@ -152,6 +336,9 @@ func (s *Store) Stat(path string) (Info, error) {
 
 // HasOnline reports whether path is immediately servable.
 func (s *Store) HasOnline(path string) bool {
+	if s.d != nil {
+		return s.d.hasOnline(path)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.files[path]
@@ -160,6 +347,9 @@ func (s *Store) HasOnline(path string) bool {
 
 // Has reports whether path exists at all (online or in mass storage).
 func (s *Store) Has(path string) bool {
+	if s.d != nil {
+		return s.d.has(path)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.files[path]; ok {
@@ -171,6 +361,9 @@ func (s *Store) Has(path string) bool {
 
 // IsStaging reports whether path is currently being staged.
 func (s *Store) IsStaging(path string) bool {
+	if s.d != nil {
+		return s.d.isStaging(path)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_, ok := s.staging[path]
@@ -182,6 +375,9 @@ func (s *Store) IsStaging(path string) bool {
 // completes (immediately-closed for online files) and ErrNotFound for
 // unknown paths.
 func (s *Store) Stage(path string) (<-chan struct{}, error) {
+	if s.d != nil {
+		return s.d.stage(path)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.files[path]; ok {
@@ -217,6 +413,9 @@ func (s *Store) Stage(path string) (<-chan struct{}, error) {
 // reaches the end of the file. Reading an offline file begins staging
 // and returns ErrStaging; the caller should tell the client to wait.
 func (s *Store) ReadAt(path string, off int64, n int) (data []byte, eof bool, err error) {
+	if s.d != nil {
+		return s.d.readAt(path, off, n)
+	}
 	s.mu.Lock()
 	d, ok := s.files[path]
 	if !ok {
@@ -251,9 +450,13 @@ func (s *Store) ReadAt(path string, off int64, n int) (data []byte, eof bool, er
 // ReadAtInto copies up to len(dst) bytes at off into dst, returning
 // how many bytes were written. Unlike ReadAt it allocates nothing: the
 // caller supplies the destination (typically a pooled wire frame, so
-// the file bytes are copied exactly once, store to frame). Semantics
-// otherwise match ReadAt, including ErrStaging for offline files.
+// the file bytes are copied exactly once — store to frame in memory,
+// page cache to frame on disk). Semantics otherwise match ReadAt,
+// including ErrStaging for offline files.
 func (s *Store) ReadAtInto(path string, off int64, dst []byte) (n int, eof bool, err error) {
+	if s.d != nil {
+		return s.d.readAtInto(path, off, dst)
+	}
 	s.mu.Lock()
 	d, ok := s.files[path]
 	if !ok {
@@ -287,6 +490,9 @@ func (s *Store) ReadAtInto(path string, off int64, dst []byte) (n int, eof bool,
 // WriteAt writes data at off, growing the file (zero-filled gap) as
 // needed. The file must be online.
 func (s *Store) WriteAt(path string, off int64, data []byte) (int, error) {
+	if s.d != nil {
+		return s.d.writeAt(path, off, data)
+	}
 	s.mu.Lock()
 	d, ok := s.files[path]
 	if !ok {
@@ -324,6 +530,9 @@ func (s *Store) WriteAt(path string, off int64, data []byte) (int, error) {
 // Truncate resizes path to size bytes, zero-filling any extension. The
 // file must be online.
 func (s *Store) Truncate(path string, size int64) error {
+	if s.d != nil {
+		return s.d.truncate(path, size)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, ok := s.files[path]
@@ -352,6 +561,9 @@ func (s *Store) Truncate(path string, size int64) error {
 // Unlink removes path from the online store and mass storage. Removing
 // a file mid-staging cancels the staging result.
 func (s *Store) Unlink(path string) error {
+	if s.d != nil {
+		return s.d.unlink(path)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, online := s.files[path]
@@ -374,6 +586,9 @@ func (s *Store) Unlink(path string) error {
 // List returns Info for every file (online and offline) under prefix,
 // sorted by path. It backs the Cluster Name Space daemon.
 func (s *Store) List(prefix string) []Info {
+	if s.d != nil {
+		return s.d.list(prefix)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []Info
@@ -394,8 +609,11 @@ func (s *Store) List(prefix string) []Info {
 	return out
 }
 
-// Used returns the bytes of online data.
+// Used returns the logical bytes of online data.
 func (s *Store) Used() int64 {
+	if s.d != nil {
+		return s.d.usedBytes()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.used
@@ -403,6 +621,9 @@ func (s *Store) Used() int64 {
 
 // Free returns the remaining capacity, or a large value when unlimited.
 func (s *Store) Free() int64 {
+	if s.d != nil {
+		return s.d.free()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.cfg.Capacity <= 0 {
@@ -417,6 +638,9 @@ func (s *Store) Free() int64 {
 
 // Count returns the number of online files.
 func (s *Store) Count() int {
+	if s.d != nil {
+		return s.d.count()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.files)

@@ -312,7 +312,17 @@ func (s *Server) write(m proto.Write) proto.Message {
 		return proto.Err{Code: proto.EInval, Msg: "handle is read-only"}
 	}
 	n, err := s.cfg.Store.WriteAt(h.path, m.Off, m.Bytes)
-	if err != nil {
+	switch err {
+	case nil:
+	case store.ErrOffline:
+		// The file was staged out after open. Kick a stage-in and tell
+		// the client to wait, the same Vp verdict reads get.
+		s.cfg.Store.Stage(h.path)
+		s.staged.Add(1)
+		return proto.Wait{Millis: s.cfg.StageWaitMillis}
+	case store.ErrNoSpace:
+		return proto.Err{Code: proto.EIO, Msg: "no space left"}
+	default:
 		return proto.Err{Code: proto.EIO, Msg: err.Error()}
 	}
 	s.writes.Add(1)
@@ -328,7 +338,13 @@ func (s *Server) trunc(m proto.Trunc) proto.Message {
 	if !h.write {
 		return proto.Err{Code: proto.EInval, Msg: "handle is read-only"}
 	}
-	if err := s.cfg.Store.Truncate(h.path, m.Size); err != nil {
+	switch err := s.cfg.Store.Truncate(h.path, m.Size); err {
+	case nil:
+	case store.ErrOffline:
+		s.cfg.Store.Stage(h.path)
+		s.staged.Add(1)
+		return proto.Wait{Millis: s.cfg.StageWaitMillis}
+	default:
 		return proto.Err{Code: proto.EIO, Msg: err.Error()}
 	}
 	return proto.TruncOK{FH: m.FH}

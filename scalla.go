@@ -97,6 +97,13 @@ type Options struct {
 	Lifetime time.Duration
 	// StageDelay simulates Mass Storage System staging time.
 	StageDelay time.Duration
+	// StoreRoot, when set, gives every server a disk-backed store
+	// under <StoreRoot>/srvN (see STORAGE.md). Empty keeps the
+	// in-memory backend.
+	StoreRoot string
+	// StoreFsync is the disk backend's fsync policy (used only with
+	// StoreRoot). Default store.FsyncInterval.
+	StoreFsync store.FsyncPolicy
 	// ReadPolicy and WritePolicy select among file holders.
 	ReadPolicy  SelectionPolicy
 	WritePolicy SelectionPolicy
@@ -243,7 +250,16 @@ func StartCluster(o Options) (*Cluster, error) {
 	}
 
 	for i := 0; i < o.Servers; i++ {
-		st := store.New(store.Config{StageDelay: o.StageDelay})
+		scfg := store.Config{StageDelay: o.StageDelay}
+		if o.StoreRoot != "" {
+			scfg.Root = fmt.Sprintf("%s/srv%d", o.StoreRoot, i)
+			scfg.Fsync = o.StoreFsync
+		}
+		st, err := store.Open(scfg)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
 		name := fmt.Sprintf("srv%d", i)
 		cfg := cmsd.NodeConfig{
 			Name: name, Role: proto.RoleServer,
@@ -310,7 +326,8 @@ func (c *Cluster) WaitFormed(timeout time.Duration) error {
 	}
 }
 
-// Stop shuts the whole tree down, leaves first.
+// Stop shuts the whole tree down, leaves first, then closes the
+// backing stores (disk-backed ones flush and release their fds).
 func (c *Cluster) Stop() {
 	for _, s := range c.Servers {
 		s.Stop()
@@ -320,6 +337,9 @@ func (c *Cluster) Stop() {
 	}
 	for _, m := range c.Managers {
 		m.Stop()
+	}
+	for _, st := range c.stores {
+		st.Close()
 	}
 }
 
