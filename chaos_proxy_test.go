@@ -105,7 +105,7 @@ func TestChaosProxyConvergesThroughFaults(t *testing.T) {
 		path := fmt.Sprintf("/edge/f%02d", i)
 		data := make([]byte, fileBytes)
 		rng.Read(data)
-		c.Store(i % nServers).Put(path, data)
+		c.Store(i%nServers).Put(path, data)
 		files[path] = data
 		holds[path] = i % nServers
 		paths = append(paths, path)

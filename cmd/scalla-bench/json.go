@@ -88,6 +88,11 @@ func runJSONBench(quick bool) (string, error) {
 		return "", err
 	}
 	out.Results = append(out.Results, lifecycle...)
+	surge, err := runSurge(quick, false)
+	if err != nil {
+		return "", err
+	}
+	out.Results = append(out.Results, surge...)
 
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)
 	b, err := json.MarshalIndent(out, "", "  ")

@@ -30,10 +30,23 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	fig2 := flag.Bool("figure2", false, "render the paper's Figure 2 (hash table + eviction windows) from a live cache")
 	jsonOut := flag.Bool("json", false, "run the micro-benchmark suite and write BENCH_<date>.json")
+	surge := flag.Bool("surge", false, "run the TCP overload-protection surge bench standalone, with queue-depth assertions")
 	flag.Parse()
 
 	if *fig2 {
 		renderFigure2()
+		return
+	}
+	if *surge {
+		rows, err := runSurge(*quick, true)
+		for _, r := range rows {
+			fmt.Printf("%-22s n=%-8d p50=%8.0fµs p99=%8.0fµs %10.0f ops/s %8.1f MB/s\n",
+				r.Op, r.N, r.P50US, r.P99US, r.OpsPerSec, r.MBPerSec)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scalla-bench: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *jsonOut {

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"strings"
 	"sync"
 	"time"
@@ -32,6 +33,12 @@ var (
 	// failed at the transport level. Match it with errors.Is; errors.As
 	// against *AllReplicasError recovers the tried-host set.
 	ErrAllReplicasFailed = errors.New("scalla: all replicas failed")
+	// ErrRetryAfter marks an operation the server shed under overload
+	// protection (proto.RetryAfter) for longer than the client's wait
+	// budget. A shed host is healthy — it answered — so this error is
+	// deliberately never wrapped in AllReplicasError and never triggers
+	// stale-location refresh (FAULTS.md, "Shed versus drop").
+	ErrRetryAfter = errors.New("scalla: shed by overloaded server")
 )
 
 // AllReplicasError reports a walk that failed at every host it reached:
@@ -162,19 +169,40 @@ type Client struct {
 	cfg   Config
 	retry *backoff.Backoff
 	pool  *mux.Pool
+
+	// shedRng jitters retry-after pauses so a cohort of shed clients
+	// does not stampede back in lockstep; seeded for reproducibility.
+	shedMu  sync.Mutex
+	shedRng *rand.Rand
 }
 
 // New returns a Client.
 func New(cfg Config) *Client {
 	cfg = cfg.withDefaults()
 	return &Client{
-		cfg:   cfg,
-		retry: backoff.New(cfg.Retry, cfg.RetrySeed),
+		cfg:     cfg,
+		retry:   backoff.New(cfg.Retry, cfg.RetrySeed),
+		shedRng: rand.New(rand.NewSource(cfg.RetrySeed + 0x5ca11a)),
 		pool: mux.NewPool(cfg.Net, mux.Options{
 			MaxInFlight: cfg.MaxInFlight,
 			Clock:       cfg.Clock,
 		}),
 	}
+}
+
+// shedDelay converts a RetryAfter hint into a jittered pause in
+// [hint/2, hint]: the server already jittered the hint upward, the
+// client jitters downward, and the product is a spread cohort rather
+// than a synchronized retry storm.
+func (cl *Client) shedDelay(r proto.RetryAfter) time.Duration {
+	h := time.Duration(r.Millis) * time.Millisecond
+	if h < time.Millisecond {
+		h = time.Millisecond
+	}
+	cl.shedMu.Lock()
+	d := h/2 + time.Duration(cl.shedRng.Int63n(int64(h/2)+1))
+	cl.shedMu.Unlock()
+	return d
 }
 
 // Close drops all cached connections, failing any in-flight requests.
@@ -225,14 +253,21 @@ func (cl *Client) walk(m proto.Message) (proto.Message, string, error) {
 		}
 		tried = append(tried, addr)
 		lastErr = err
-		if errors.Is(err, ErrTimeout) {
+		if errors.Is(err, ErrTimeout) || errors.Is(err, ErrRetryAfter) {
 			// The wait budget is an end-to-end bound; another replica
-			// would only wait on the same pending resolution.
+			// would only wait on the same pending resolution (or the
+			// same overloaded cluster).
 			break
 		}
 	}
 	if lastErr == nil {
 		return nil, "", ErrNoServer
+	}
+	if errors.Is(lastErr, ErrRetryAfter) {
+		// A shed is backpressure from a healthy host, not a replica
+		// failure: surface it bare so callers neither count it toward
+		// ErrAllReplicasFailed nor run stale-location recovery on it.
+		return nil, "", lastErr
 	}
 	return nil, "", &AllReplicasError{Tried: tried, Err: lastErr}
 }
@@ -284,6 +319,18 @@ func (cl *Client) walkFrom(addr string, m proto.Message) (proto.Message, string,
 				return nil, addr, ErrTimeout
 			}
 			sp.Event("wait", d.String())
+			cl.cfg.Clock.Sleep(d)
+		case proto.RetryAfter:
+			// Overload shed: the host is healthy and told us when to
+			// come back, so back off (jittered, against the same wait
+			// budget) and retry rather than marking the replica failed.
+			d := cl.shedDelay(r)
+			waited += d
+			if waited > cl.cfg.WaitBudget {
+				sp.End("shed budget exhausted")
+				return nil, addr, ErrRetryAfter
+			}
+			sp.Event("shed", d.String())
 			cl.cfg.Clock.Sleep(d)
 		default:
 			sp.End(fmt.Sprintf("%T from %s", reply, addr))
@@ -601,11 +648,25 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 }
 
 func (f *File) readAtLocked(p []byte, off int64, mayRecover bool) (int, error) {
+	var shedWaited time.Duration
+retry:
 	reply, err := f.cl.rpc(f.addr, proto.Read{FH: f.fh, Off: off, N: uint32(len(p))})
 	if err == nil {
 		if w, isWait := reply.(proto.Wait); isWait {
 			f.cl.cfg.Clock.Sleep(time.Duration(w.Millis) * time.Millisecond)
-			return f.readAtLocked(p, off, mayRecover)
+			goto retry
+		}
+		if ra, isShed := reply.(proto.RetryAfter); isShed {
+			// Overload shed: back off and re-send. The server is fine
+			// (it answered), so recovery to another replica is wrong;
+			// bound the patience by the wait budget.
+			d := f.cl.shedDelay(ra)
+			shedWaited += d
+			if shedWaited > f.cl.cfg.WaitBudget {
+				return 0, fmt.Errorf("read at %d: %w", off, ErrRetryAfter)
+			}
+			f.cl.cfg.Clock.Sleep(d)
+			goto retry
 		}
 	}
 	if err != nil {
@@ -715,6 +776,12 @@ func (f *File) reapWrite() error {
 		// bytes are gone), so the caller must rewrite after Flush.
 		f.failWindow(fmt.Errorf("%w: pipelined write at %d deferred by staging; rewrite after Flush", ErrIO, c.off))
 		return f.werr
+	case proto.RetryAfter:
+		// Shed under overload. Same shape as Wait: the bytes are gone,
+		// so the window cannot transparently retry — but the error is
+		// the typed shed so callers back off instead of failing over.
+		f.failWindow(fmt.Errorf("pipelined write at %d shed; rewrite after Flush: %w", c.off, ErrRetryAfter))
+		return f.werr
 	case proto.Err:
 		f.failWindow(fmt.Errorf("pipelined write at %d: %w", c.off, errFrom(r)))
 		return f.werr
@@ -768,20 +835,32 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if f.cl.cfg.WriteWindow > 1 {
 		return f.writeAtPipelined(p, off)
 	}
-	reply, err := f.cl.rpc(f.addr, proto.Write{FH: f.fh, Off: off, Bytes: p})
-	if err != nil {
-		return 0, err
-	}
-	switch r := reply.(type) {
-	case proto.WriteOK:
-		if end := off + int64(r.N); end > f.size {
-			f.size = end
+	var shedWaited time.Duration
+	for {
+		reply, err := f.cl.rpc(f.addr, proto.Write{FH: f.fh, Off: off, Bytes: p})
+		if err != nil {
+			return 0, err
 		}
-		return int(r.N), nil
-	case proto.Err:
-		return 0, errFrom(r)
-	default:
-		return 0, fmt.Errorf("%w: unexpected write reply %T", ErrIO, reply)
+		switch r := reply.(type) {
+		case proto.WriteOK:
+			if end := off + int64(r.N); end > f.size {
+				f.size = end
+			}
+			return int(r.N), nil
+		case proto.RetryAfter:
+			// Lock-step writes still hold the bytes, so a shed is fully
+			// retryable after a jittered pause.
+			d := f.cl.shedDelay(r)
+			shedWaited += d
+			if shedWaited > f.cl.cfg.WaitBudget {
+				return 0, fmt.Errorf("write at %d: %w", off, ErrRetryAfter)
+			}
+			f.cl.cfg.Clock.Sleep(d)
+		case proto.Err:
+			return 0, errFrom(r)
+		default:
+			return 0, fmt.Errorf("%w: unexpected write reply %T", ErrIO, reply)
+		}
 	}
 }
 

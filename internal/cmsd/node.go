@@ -58,6 +58,14 @@ type NodeConfig struct {
 	// Default 8 on servers, 16 on redirectors (whose handlers may block
 	// in the fast response queue for a full delay).
 	DataWorkers int
+	// DispatchQueue bounds queued-but-not-executing data-plane requests
+	// across all of the node's data connections; arrivals beyond it shed
+	// with RetryAfter (DESIGN.md §11). Default 1024.
+	DispatchQueue int
+	// RetryAfterMillis is the nominal shed backoff hint. Default 100.
+	RetryAfterMillis int
+	// SchedSeed seeds the shed-jitter RNG for deterministic verdicts.
+	SchedSeed int64
 	// PingInterval is how often a redirector pings subordinates for
 	// load/liveness. Default 1 s.
 	PingInterval time.Duration
@@ -124,9 +132,10 @@ func (c NodeConfig) withDefaults() NodeConfig {
 
 // Node is a running Scalla node.
 type Node struct {
-	cfg  NodeConfig
-	core *Core       // redirector roles
-	data *xrd.Server // server role
+	cfg       NodeConfig
+	core      *Core          // redirector roles
+	data      *xrd.Server    // server role
+	dataSched *mux.Scheduler // redirector data face (nil on servers)
 
 	dataL transport.Listener
 	ctlL  transport.Listener
@@ -165,10 +174,27 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			Store: cfg.Store, ReadOnly: cfg.ReadOnly,
 			StageWaitMillis: cfg.StageWaitMillis, Logf: cfg.Logf,
 			Workers: cfg.DataWorkers, Tracer: cfg.Tracer,
+			DispatchQueue:    cfg.DispatchQueue,
+			RetryAfterMillis: cfg.RetryAfterMillis,
+			SchedSeed:        cfg.SchedSeed,
 		})
 	case proto.RoleSupervisor, proto.RoleManager:
 		n.core = NewCore(cfg.Core)
 		n.core.SetQuerySender(n.querySender)
+		workers := cfg.DataWorkers
+		if workers <= 0 {
+			// Redirector handlers park in the fast response queue for up
+			// to a full delay; a deeper default keeps one slow path from
+			// stalling unrelated requests.
+			workers = 16
+		}
+		n.dataSched = mux.NewScheduler(mux.SchedConfig{
+			Workers:          workers,
+			QueueLimit:       cfg.DispatchQueue,
+			RetryAfterMillis: cfg.RetryAfterMillis,
+			Seed:             cfg.SchedSeed,
+			Clock:            cfg.Clock,
+		})
 	default:
 		return nil, fmt.Errorf("cmsd: unknown role %v", cfg.Role)
 	}
@@ -243,14 +269,20 @@ func (n *Node) Stop() {
 	if n.ctlL != nil {
 		n.ctlL.Close()
 	}
-	if n.data != nil {
-		n.data.Close()
-	}
+	// Close live connections before the schedulers: scheduler Close
+	// waits for in-flight handlers, and a handler blocked replying to a
+	// wedged peer only unblocks once its connection dies.
 	n.mu.Lock()
 	for c := range n.live {
 		c.Close()
 	}
 	n.mu.Unlock()
+	if n.data != nil {
+		n.data.Close()
+	}
+	if n.dataSched != nil {
+		n.dataSched.Close()
+	}
 	if n.core != nil {
 		n.core.Close()
 	}
@@ -649,16 +681,9 @@ func (n *Node) redirectorConn(conn transport.Conn) {
 	}
 	defer n.untrack(conn)
 	defer conn.Close()
-	workers := n.cfg.DataWorkers
-	if workers <= 0 {
-		// Redirector handlers park in the fast response queue for up to
-		// a full delay; a deeper default keeps one slow path from
-		// stalling a pipelined client's unrelated requests.
-		workers = 16
-	}
 	mux.Serve(conn, n.redirectorRequest, mux.ServeOptions{
-		Workers: workers,
-		Tracer:  n.cfg.Tracer,
+		Sched:  n.dataSched,
+		Tracer: n.cfg.Tracer,
 		OnError: func(err error) {
 			n.cfg.Logf("cmsd %s: bad data-plane frame from %s: %v", n.cfg.Name, conn.RemoteAddr(), err)
 		},

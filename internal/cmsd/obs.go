@@ -73,6 +73,10 @@ func (n *Node) Frame() obs.Frame {
 			}
 		}
 		f.Cluster = &obs.ClusterSummary{ParentsUp: n.ParentsUp()}
+		f.Sched = d.Sched().Summary()
+	}
+	if n.dataSched != nil {
+		f.Sched = n.dataSched.Summary()
 	}
 	if cn, ok := n.cfg.Net.(*transport.CountingNetwork); ok {
 		s := cn.Stats()

@@ -28,6 +28,12 @@ type ServeOptions struct {
 	// OnError, if set, receives frame decode errors before the loop
 	// stops serving the connection.
 	OnError func(err error)
+	// Sched, if set, routes this connection's requests through a
+	// server-wide Scheduler instead of a per-connection worker pool:
+	// strict-priority control lane, DRR fairness across connections,
+	// and bounded-queue shedding with RetryAfter verdicts (DESIGN.md
+	// §11). Workers is ignored — concurrency is the scheduler's.
+	Sched *Scheduler
 }
 
 // Responder sends stream-tagged replies for one in-flight request; the
@@ -68,19 +74,20 @@ type serveState struct {
 	wmu  sync.Mutex
 }
 
-type job struct {
-	m   proto.Message
-	sid uint32
-}
-
 // Serve reads frames from conn and dispatches them to h until the
 // connection fails or a frame fails to decode. With Workers > 1,
 // requests run on a bounded worker pool — spawned on demand, capped at
 // Workers — and replies are written out of order, tagged by stream;
 // the frame reader blocks once every worker is busy, which is the
-// connection's backpressure. Serve returns only after every in-flight
-// handler has finished.
+// connection's backpressure. With opt.Sched set, dispatch is handed to
+// the shared scheduler instead and overflow is shed with RetryAfter
+// rather than blocking the reader. Either way Serve returns only after
+// every in-flight handler has finished.
 func Serve(conn transport.Conn, h Handler, opt ServeOptions) {
+	if opt.Sched != nil {
+		serveSched(conn, h, opt)
+		return
+	}
 	st := &serveState{conn: conn}
 	if opt.Workers <= 1 {
 		for {
@@ -122,6 +129,28 @@ func Serve(conn transport.Conn, h Handler, opt ServeOptions) {
 			}()
 		}
 		jobs <- j
+	}
+}
+
+// serveSched is the scheduled Serve loop: decode, enqueue, and answer
+// sheds inline. The scheduler's workers run the handlers; unregister
+// blocks until this connection's in-flight handlers drain, preserving
+// Serve's return contract for callers that close handles afterward.
+func serveSched(conn transport.Conn, h Handler, opt ServeOptions) {
+	st := &serveState{conn: conn}
+	c := opt.Sched.register(st, h, opt)
+	defer opt.Sched.unregister(c)
+	for {
+		m, sid, err := recvOne(conn, opt)
+		if err != nil {
+			return
+		}
+		if shedded, millis := opt.Sched.enqueue(c, m, sid); shedded {
+			st.wmu.Lock()
+			// Best effort: if the conn is failing the reader sees it.
+			_ = transport.SendMessageStream(conn, proto.RetryAfter{Millis: millis}, sid)
+			st.wmu.Unlock()
+		}
 	}
 }
 

@@ -21,7 +21,8 @@ import (
 
 // Daemon aggregates the namespaces of a set of data servers.
 type Daemon struct {
-	net transport.Network
+	net   transport.Network
+	sched *mux.Scheduler
 
 	mu      sync.Mutex
 	servers []string // data addresses of leaf servers
@@ -30,7 +31,15 @@ type Daemon struct {
 
 // New returns a Daemon that will consult the given servers.
 func New(net transport.Network, servers ...string) *Daemon {
-	return &Daemon{net: net, servers: append([]string(nil), servers...)}
+	return &Daemon{
+		net: net,
+		// Listing fans out to every server, so a few concurrent workers
+		// overlap fan-outs nicely without needing a deep pool. The shared
+		// scheduler keeps one greedy lister from monopolizing them and
+		// sheds (rather than queues without bound) under surge.
+		sched:   mux.NewScheduler(mux.SchedConfig{Workers: 4}),
+		servers: append([]string(nil), servers...),
+	}
 }
 
 // AddServer registers another data server with the daemon.
@@ -143,7 +152,7 @@ func (d *Daemon) Serve(addr string) error {
 	return nil
 }
 
-// Stop closes the daemon's listener.
+// Stop closes the daemon's listener and drains its dispatch scheduler.
 func (d *Daemon) Stop() {
 	d.mu.Lock()
 	l := d.l
@@ -151,12 +160,11 @@ func (d *Daemon) Stop() {
 	if l != nil {
 		l.Close()
 	}
+	d.sched.Close()
 }
 
 func (d *Daemon) serveConn(c transport.Conn) {
 	defer c.Close()
-	// Listing fans out to every server, so a few concurrent streams per
-	// connection overlap fan-outs nicely without needing a deep pool.
 	mux.Serve(c, func(m proto.Message, _ mux.Responder) proto.Message {
 		switch q := m.(type) {
 		case proto.List:
@@ -166,7 +174,7 @@ func (d *Daemon) serveConn(c transport.Conn) {
 		default:
 			return proto.Err{Code: proto.EInval, Msg: "nsd: expected list"}
 		}
-	}, mux.ServeOptions{Workers: 4})
+	}, mux.ServeOptions{Sched: d.sched})
 }
 
 // Tree renders the merged namespace under prefix as an indented tree,

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -46,13 +47,37 @@ func NewHandler(st AdminState) http.Handler {
 		enc.Encode(f)
 	})
 	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
-		if st.Registry == nil {
+		if st.Registry == nil && st.Collect == nil {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte(st.Registry.Dump()))
-		w.Write([]byte("\n"))
+		if st.Registry != nil {
+			w.Write([]byte(st.Registry.Dump()))
+			w.Write([]byte("\n"))
+		}
+		// The scheduler keeps its own counters (a registry is optional on
+		// data-only nodes), so its section is appended from the summary
+		// frame rather than the registry.
+		if st.Collect != nil {
+			if s := st.Collect().Sched; s != nil {
+				fmt.Fprintf(w, "counter sched.disp_ctl = %d\n", s.DispCtl)
+				fmt.Fprintf(w, "counter sched.disp_data = %d\n", s.DispData)
+				fmt.Fprintf(w, "counter sched.shed = %d\n", s.Shed)
+				fmt.Fprintf(w, "gauge   sched.clients = %d\n", s.Clients)
+				fmt.Fprintf(w, "gauge   sched.inflight = %d\n", s.InFlight)
+				fmt.Fprintf(w, "gauge   sched.max_queued = %d\n", s.MaxQueued)
+				fmt.Fprintf(w, "gauge   sched.queued_ctl = %d\n", s.QueuedCtl)
+				fmt.Fprintf(w, "gauge   sched.queued_data = %d\n", s.QueuedData)
+				for _, lw := range []struct {
+					name string
+					op   OpSummary
+				}{{"sched.ctl_wait", s.CtlWait}, {"sched.data_wait", s.DataWait}} {
+					fmt.Fprintf(w, "hist    %s : n=%d mean=%dµs p50=%dµs p90=%dµs p99=%dµs max=%dµs\n",
+						lw.name, lw.op.Count, lw.op.MeanUS, lw.op.P50US, lw.op.P90US, lw.op.P99US, lw.op.MaxUS)
+				}
+			}
+		}
 	})
 	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
 		if st.Tracer == nil {

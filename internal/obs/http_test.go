@@ -62,6 +62,38 @@ func TestHandlerMetricsz(t *testing.T) {
 	}
 }
 
+// The scheduler section rides the summary frame, not the registry, so
+// data-only nodes (which have no registry) still export it.
+func TestHandlerMetricszSchedSection(t *testing.T) {
+	st := AdminState{Collect: func() Frame {
+		f := sampleFrame()
+		f.Sched = &SchedSummary{QueuedData: 3, Shed: 5,
+			CtlWait: OpSummary{Count: 2, P99US: 10}}
+		return f
+	}}
+	srv := httptest.NewServer(NewHandler(st))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz without registry: %s", resp.Status)
+	}
+	body := readAll(t, resp)
+	for _, want := range []string{
+		"counter sched.shed = 5",
+		"gauge   sched.queued_data = 3",
+		"hist    sched.ctl_wait : n=2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metricsz sched section missing %q:\n%s", want, body)
+		}
+	}
+}
+
 func TestHandlerTracez(t *testing.T) {
 	st, tr := adminFixture()
 	srv := httptest.NewServer(NewHandler(st))

@@ -130,6 +130,25 @@ type PCacheSummary struct {
 	Invalidated   int64 `json:"invalidated"`    // entries dropped as stale
 }
 
+// SchedSummary summarizes the request scheduler (DESIGN.md §11): queue
+// depths, shed verdicts, and per-lane enqueue-to-dispatch waits. An
+// operator watching a saturated server reads the overload story here —
+// shed climbing while ctl_wait stays flat is the layer working as
+// designed; ctl_wait climbing means the control lane is compromised.
+type SchedSummary struct {
+	Clients    int   `json:"clients"`     // registered connections
+	QueuedCtl  int   `json:"queued_ctl"`  // control-lane depth
+	QueuedData int   `json:"queued_data"` // data-lane depth across clients
+	MaxQueued  int   `json:"max_queued"`  // data-lane high-water mark
+	InFlight   int   `json:"inflight"`    // handlers executing now
+	DispCtl    int64 `json:"disp_ctl"`    // control frames dispatched
+	DispData   int64 `json:"disp_data"`   // data frames dispatched
+	Shed       int64 `json:"shed"`        // requests answered RetryAfter
+
+	CtlWait  OpSummary `json:"ctl_wait"`  // control-lane queue wait
+	DataWait OpSummary `json:"data_wait"` // data-lane queue wait
+}
+
 // NetSummary carries the transport-layer frame/byte counters.
 type NetSummary struct {
 	FramesSent int64 `json:"frames_sent"`
@@ -162,6 +181,7 @@ type Frame struct {
 	Data     *DataSummary         `json:"data,omitempty"`
 	Store    *StoreSummary        `json:"store,omitempty"`
 	PCache   *PCacheSummary       `json:"pcache,omitempty"`
+	Sched    *SchedSummary        `json:"sched,omitempty"`
 	Net      *NetSummary          `json:"net,omitempty"`
 	Ops      map[string]OpSummary `json:"ops,omitempty"`
 	Counters map[string]int64     `json:"counters,omitempty"`
@@ -261,6 +281,10 @@ func (f Frame) String() string {
 		}
 		fmt.Fprintf(&b, " pcache=%de/%db hit=%d(%.0f%%) miss=%d origin=%dB served=%dB",
 			p.Entries, p.Blocks, p.Hits, ratio, p.Misses, p.OriginBytes, p.BytesServed)
+	}
+	if s := f.Sched; s != nil {
+		fmt.Fprintf(&b, " sched=%dq/%dr shed=%d ctl_p99=%dµs data_p99=%dµs",
+			s.QueuedData, s.InFlight, s.Shed, s.CtlWait.P99US, s.DataWait.P99US)
 	}
 	if n := f.Net; n != nil {
 		fmt.Fprintf(&b, " net=%df/%dB", n.FramesSent, n.BytesSent)

@@ -78,12 +78,14 @@ func TestFrameString(t *testing.T) {
 			t.Fatalf("String() = %q, missing %q", s, want)
 		}
 	}
-	// A server frame renders its data plane instead.
+	// A server frame renders its data plane and scheduler instead.
 	srv := Frame{V: FrameVersion, Node: "srv1", Role: "server",
 		Data: &DataSummary{OpenHandles: 2, Reads: 7, Writes: 1},
-		Net:  &NetSummary{FramesSent: 40, BytesSent: 1234}}
+		Sched: &SchedSummary{QueuedData: 3, InFlight: 2, Shed: 5,
+			CtlWait: OpSummary{P99US: 10}, DataWait: OpSummary{P99US: 250}},
+		Net: &NetSummary{FramesSent: 40, BytesSent: 1234}}
 	s = srv.String()
-	for _, want := range []string{"srv1/server", "handles=2 reads=7 writes=1", "net=40f/1234B"} {
+	for _, want := range []string{"srv1/server", "handles=2 reads=7 writes=1", "sched=3q/2r shed=5 ctl_p99=10µs data_p99=250µs", "net=40f/1234B"} {
 		if !strings.Contains(s, want) {
 			t.Fatalf("server String() = %q, missing %q", s, want)
 		}

@@ -157,6 +157,7 @@ func (p *Proxy) Frame() obs.Frame {
 		Epoch:     p.loc.Epoch(),
 		Conn:      obs.TrimConn(conn[:]),
 	}
+	f.Sched = p.sched.Summary()
 	if cn, ok := p.cfg.Net.(*transport.CountingNetwork); ok {
 		ns := cn.Stats()
 		f.Net = &obs.NetSummary{FramesSent: ns.FramesSent, BytesSent: ns.BytesSent, Dials: ns.Dials}

@@ -78,9 +78,16 @@ type Config struct {
 	// OriginReadahead is how many consecutive blocks a miss fetches
 	// from origin (1 = just the missing block). Default 4.
 	OriginReadahead int
-	// Workers bounds concurrent request dispatch per downstream
-	// connection. Default 8.
+	// Workers bounds concurrent request dispatch across all downstream
+	// connections (the scheduled dispatch of DESIGN.md §11). Default 8.
 	Workers int
+	// DispatchQueue bounds queued-but-not-executing downstream data
+	// requests; arrivals beyond it shed with RetryAfter. Default 1024.
+	DispatchQueue int
+	// RetryAfterMillis is the nominal shed backoff hint. Default 100.
+	RetryAfterMillis int
+	// SchedSeed seeds the shed-jitter RNG for deterministic verdicts.
+	SchedSeed int64
 	// RPCTimeout bounds one origin exchange. Default 15 s.
 	RPCTimeout time.Duration
 	// MaxInFlight bounds streams multiplexed per origin connection.
@@ -136,8 +143,9 @@ func (c Config) withDefaults() Config {
 type Proxy struct {
 	cfg Config
 
-	up   *client.Client // origin control plane: walks, refreshes, writes
-	pool *mux.Pool      // origin data servers: opens and block fills
+	up    *client.Client // origin control plane: walks, refreshes, writes
+	pool  *mux.Pool      // origin data servers: opens and block fills
+	sched *mux.Scheduler // downstream face dispatch
 
 	loc *cache.Cache // location answers, keyed by origin-server slots
 
@@ -208,6 +216,13 @@ func New(cfg Config) *Proxy {
 			MaxInFlight: cfg.MaxInFlight,
 			Clock:       cfg.Clock,
 		}),
+		sched: mux.NewScheduler(mux.SchedConfig{
+			Workers:          cfg.Workers,
+			QueueLimit:       cfg.DispatchQueue,
+			RetryAfterMillis: cfg.RetryAfterMillis,
+			Seed:             cfg.SchedSeed,
+			Clock:            cfg.Clock,
+		}),
 		loc: cache.New(cache.Config{
 			Lifetime: cfg.LocLifetime,
 			Clock:    cfg.Clock,
@@ -266,6 +281,9 @@ func (p *Proxy) Close() {
 		c.Close()
 	}
 	p.cmu.Unlock()
+	// Connections are dead; now the scheduler can drain its in-flight
+	// handlers without any of them wedging on a reply send.
+	p.sched.Close()
 	p.pool.Close()
 	p.up.Close()
 	p.wg.Wait()
@@ -347,8 +365,8 @@ func (p *Proxy) handleConn(conn transport.Conn) {
 		}
 		return reply
 	}, mux.ServeOptions{
-		Workers: p.cfg.Workers,
-		Tracer:  p.cfg.Tracer,
+		Sched:  p.sched,
+		Tracer: p.cfg.Tracer,
 		OnError: func(err error) {
 			p.cfg.Logf("pcache: bad frame from %s: %v", conn.RemoteAddr(), err)
 		},

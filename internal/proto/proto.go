@@ -66,6 +66,7 @@ const (
 	KListOK
 	KTrunc
 	KTruncOK
+	KRetryAfter
 )
 
 // Role is a node's position in the 64-ary tree.
@@ -402,6 +403,21 @@ type TruncOK struct {
 
 // Kind implements Message.
 func (TruncOK) Kind() Kind { return KTruncOK }
+
+// RetryAfter is a shed verdict: the server's dispatch queue is full and
+// the request was dropped before reaching a handler. Millis is the
+// server's backoff hint — the client should retry (with jitter, against
+// any replica) no sooner than roughly that long. It generalizes the
+// respq full-delay Wait into an explicit backpressure signal: unlike
+// Wait{Millis}, which promises the resource will exist and parks the
+// client on a callback, RetryAfter promises nothing and carries no
+// server-side state (DESIGN.md §11, FAULTS.md).
+type RetryAfter struct {
+	Millis uint32
+}
+
+// Kind implements Message.
+func (RetryAfter) Kind() Kind { return KRetryAfter }
 
 // ---------------------------------------------------------- encoding --
 
@@ -745,6 +761,8 @@ func appendMessage(buf []byte, m Message, stream uint32) []byte {
 		w.i64(v.Size)
 	case TruncOK:
 		w.u64(v.FH)
+	case RetryAfter:
+		w.u32(v.Millis)
 	default:
 		panic(fmt.Sprintf("proto: unknown message %T", m))
 	}
@@ -840,6 +858,8 @@ func UnmarshalStream(frame []byte) (Message, uint32, error) {
 		m = Trunc{FH: r.u64(), Size: r.i64()}
 	case KTruncOK:
 		m = TruncOK{FH: r.u64()}
+	case KRetryAfter:
+		m = RetryAfter{Millis: r.u32()}
 	default:
 		return nil, 0, fmt.Errorf("proto: unknown kind %d", frame[0])
 	}

@@ -42,6 +42,7 @@ func all() []Message {
 		ListOK{Entries: []Entry{{Path: "/store/a", Size: 4, Online: true}, {Path: "/store/b", Size: 9}}},
 		Trunc{FH: 77, Size: 1024},
 		TruncOK{FH: 77},
+		RetryAfter{Millis: 150},
 	}
 }
 

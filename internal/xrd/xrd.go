@@ -28,10 +28,20 @@ type Config struct {
 	// StageWaitMillis is the retry hint sent with Wait responses while a
 	// file stages. Default 300.
 	StageWaitMillis uint32
-	// Workers bounds how many requests from one connection execute
-	// concurrently (the stream-multiplexed dispatch of DESIGN.md §8).
-	// 1 serves strictly in order. Default 8.
+	// Workers bounds how many requests execute concurrently across all
+	// of the server's connections (the scheduled dispatch of DESIGN.md
+	// §11). Default 8.
 	Workers int
+	// DispatchQueue bounds queued-but-not-executing data-plane requests
+	// summed over all connections; arrivals beyond it are answered with
+	// RetryAfter (the shed verdict of DESIGN.md §11). Default 1024.
+	DispatchQueue int
+	// RetryAfterMillis is the nominal shed backoff hint; each verdict
+	// carries a jittered value around it. Default 100.
+	RetryAfterMillis int
+	// SchedSeed seeds the shed-jitter RNG so shed verdicts are
+	// deterministic for a fixed arrival order.
+	SchedSeed int64
 	// Tracer, if set, records one span per dispatched request.
 	Tracer *obs.Tracer
 	// Logf, if set, receives debug logging.
@@ -40,7 +50,8 @@ type Config struct {
 
 // Server is a data server. Create one with New, then Serve a listener.
 type Server struct {
-	cfg Config
+	cfg   Config
+	sched *mux.Scheduler
 
 	mu      sync.Mutex
 	handles map[uint64]*handle
@@ -89,8 +100,20 @@ func New(cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{cfg: cfg, handles: make(map[uint64]*handle)}
+	return &Server{
+		cfg: cfg,
+		sched: mux.NewScheduler(mux.SchedConfig{
+			Workers:          cfg.Workers,
+			QueueLimit:       cfg.DispatchQueue,
+			RetryAfterMillis: cfg.RetryAfterMillis,
+			Seed:             cfg.SchedSeed,
+		}),
+		handles: make(map[uint64]*handle),
+	}
 }
+
+// Sched exposes the request scheduler for observability snapshots.
+func (s *Server) Sched() *mux.Scheduler { return s.sched }
 
 // Store returns the backing store.
 func (s *Server) Store() *store.Store { return s.cfg.Store }
@@ -132,8 +155,15 @@ func (s *Server) Serve(l transport.Listener) {
 	}
 }
 
-// Close marks the server closed; existing connections drain naturally.
-func (s *Server) Close() { s.closed.Store(true) }
+// Close marks the server closed, discards queued requests, and waits
+// for in-flight handlers to return; existing connections then drain
+// naturally.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.sched.Close()
+}
 
 func (s *Server) handleConn(conn transport.Conn) {
 	defer conn.Close()
@@ -163,8 +193,8 @@ func (s *Server) handleConn(conn transport.Conn) {
 		}
 		return reply
 	}, mux.ServeOptions{
-		Workers: s.cfg.Workers,
-		Tracer:  s.cfg.Tracer,
+		Sched:  s.sched,
+		Tracer: s.cfg.Tracer,
 		OnError: func(err error) {
 			s.cfg.Logf("xrd: bad frame from %s: %v", conn.RemoteAddr(), err)
 		},
