@@ -45,6 +45,13 @@ type BenchResult struct {
 	// fraction of served bytes not pulled from origin.
 	HitRate       float64 `json:"hit_rate,omitempty"`
 	OriginOffload float64 `json:"origin_offload,omitempty"`
+	// Depth, HopP50, and MsgsPerOp are set only for the tree-scaling
+	// rows (depth.resolve.*): tree depth in node levels, median redirect
+	// hops per resolve, and protocol messages per resolve. Their
+	// latencies are simulated hop delays, not host time.
+	Depth     int     `json:"depth,omitempty"`
+	HopP50    int     `json:"hop_p50,omitempty"`
+	MsgsPerOp float64 `json:"msgs_per_op,omitempty"`
 }
 
 // BenchFile is the top-level document written to BENCH_<date>.json.
@@ -93,6 +100,21 @@ func runJSONBench(quick bool) (string, error) {
 		return "", err
 	}
 	out.Results = append(out.Results, surge...)
+	depth, err := runDepth4(quick)
+	if err != nil {
+		return "", err
+	}
+	for _, r := range depth {
+		out.Results = append(out.Results, BenchResult{
+			Op: fmt.Sprintf("depth.resolve.n%d.f%d", r.Servers, r.Fanout),
+			N:  int64(r.Ops),
+			P50US:     float64(r.LatP50.Nanoseconds()) / 1e3,
+			P99US:     float64(r.LatP99.Nanoseconds()) / 1e3,
+			Depth:     r.Depth,
+			HopP50:    r.HopP50,
+			MsgsPerOp: r.MsgsPerOp,
+		})
+	}
 
 	name := fmt.Sprintf("BENCH_%s.json", out.Date)
 	b, err := json.MarshalIndent(out, "", "  ")

@@ -31,7 +31,18 @@ func main() {
 	fig2 := flag.Bool("figure2", false, "render the paper's Figure 2 (hash table + eviction windows) from a live cache")
 	jsonOut := flag.Bool("json", false, "run the micro-benchmark suite and write BENCH_<date>.json")
 	surge := flag.Bool("surge", false, "run the TCP overload-protection surge bench standalone, with queue-depth assertions")
+	depth4 := flag.Bool("depth4", false, "run the depth-4 tree scaling sweep (simulated servers over real cores) and print the scaling table")
 	flag.Parse()
+
+	if *depth4 {
+		rows, err := runDepth4(*quick)
+		printDepth4(rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scalla-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *fig2 {
 		renderFigure2()

@@ -103,6 +103,107 @@ func TestDetsimSweep(t *testing.T) {
 	}
 }
 
+// depth4Cfg is one depth-4 tree simulation: 1024 simulated servers at
+// fanout 16 over 69 real cmsd cores (manager → 4 supervisors → 64 leaf
+// supervisors → servers).
+func depth4Cfg(seed int64, plan faults.Plan, crashes, mgrRestarts int) detsim.TreeConfig {
+	return detsim.TreeConfig{
+		Seed: seed, Servers: 1024, Fanout: 16,
+		Plan: plan, Crashes: crashes, ManagerRestarts: mgrRestarts,
+	}
+}
+
+// runDepth4Seed executes one depth-4 seed twice in the given mode,
+// checking invariants and the replay guarantee. It reports success.
+func runDepth4Seed(t *testing.T, seed int64, plan faults.Plan, crashes, mgrRestarts int) bool {
+	t.Helper()
+	cfg := depth4Cfg(seed, plan, crashes, mgrRestarts)
+	a := detsim.RunTree(cfg)
+	if len(a.Violations) != 0 {
+		for _, v := range a.Violations {
+			t.Errorf("depth-4 seed %d: invariant violation: %s", seed, v)
+		}
+		return false
+	}
+	b := detsim.RunTree(cfg)
+	if a.Hash != b.Hash {
+		t.Errorf("depth-4 seed %d: replay diverged: %s vs %s", seed, a.Hash, b.Hash)
+		return false
+	}
+	return true
+}
+
+// TestDetsimDepth4Sweep pushes the tree past its single-cell shape: 200
+// seeds over depth-4 topologies with ≥1k simulated servers, strict and
+// faulted (frame faults + server churn + a manager restart re-login
+// storm), each run twice for the replay assertion. The per-core
+// invariants — vector disjointness, flood uniqueness, respq
+// conservation, exactly-once waiter delivery — must hold at every level
+// of the tree.
+func TestDetsimDepth4Sweep(t *testing.T) {
+	base := detsimSeed(t)
+	// A depth-4 run stands up 69 real cores, so the full 200-seed band
+	// costs minutes under -race. Plain `go test` runs a 40-seed smoke
+	// band; the detsim CI jobs set DETSIM_SEED and get the full band.
+	seeds := int64(40)
+	if os.Getenv("DETSIM_SEED") != "" {
+		seeds = 200
+	}
+	plan := detsimPlan()
+	var ops, waits, redirects, crashed, restarts int
+	var queries, haves int64
+	hopMax := 0
+	for i := int64(0); i < seeds; i++ {
+		seed := base + i
+		if !runDepth4Seed(t, seed, faults.Plan{}, 0, 0) {
+			recordDetsimSeed(t, seed)
+			return
+		}
+		if !runDepth4Seed(t, seed, plan, 4, 1) {
+			recordDetsimSeed(t, seed)
+			return
+		}
+		r := detsim.RunTree(depth4Cfg(seed, plan, 4, 1))
+		ops += r.Ops
+		waits += r.Waits
+		redirects += r.Redirects
+		crashed += r.Crashed
+		restarts += r.MgrRestarts
+		queries += r.Queries
+		haves += r.Haves
+		if r.HopMax > hopMax {
+			hopMax = r.HopMax
+		}
+	}
+	t.Logf("depth-4 sweep: base=%d seeds=%d ops=%d waits=%d redirects=%d queries=%d haves=%d crashed=%d mgrRestarts=%d hopMax=%d",
+		base, seeds, ops, waits, redirects, queries, haves, crashed, restarts, hopMax)
+	if ops == 0 || waits == 0 || redirects == 0 || crashed == 0 || restarts == 0 {
+		t.Errorf("depth-4 sweep went vacuous: ops=%d waits=%d redirects=%d crashed=%d mgrRestarts=%d",
+			ops, waits, redirects, crashed, restarts)
+	}
+}
+
+// TestDetsimDepth4SeedReplay pins the depth-4 replay guarantee on the
+// single DETSIM_SEED seed — the repro entry point for a failing
+// nightly depth-4 seed.
+func TestDetsimDepth4SeedReplay(t *testing.T) {
+	seed := detsimSeed(t)
+	cfg := depth4Cfg(seed, detsimPlan(), 4, 1)
+	a := detsim.RunTree(cfg)
+	b := detsim.RunTree(cfg)
+	if a.Hash != b.Hash || a.Steps != b.Steps {
+		recordDetsimSeed(t, seed)
+		t.Fatalf("depth-4 seed %d: runs diverged: %s/%d vs %s/%d",
+			seed, a.Hash, a.Steps, b.Hash, b.Steps)
+	}
+	for _, v := range a.Violations {
+		t.Errorf("depth-4 seed %d: %s", seed, v)
+	}
+	if t.Failed() {
+		recordDetsimSeed(t, seed)
+	}
+}
+
 // TestDetsimSeedReplay pins the replay guarantee on the single
 // DETSIM_SEED seed with a verbose byte-identical comparison, the
 // cheapest repro entry point for a failing nightly seed.

@@ -30,8 +30,16 @@ import (
 	"scalla/internal/vclock"
 )
 
-// ErrFull is returned when all 64 subordinate slots are taken.
-var ErrFull = errors.New("cluster: subordinate set is full (64 members)")
+// MaxMembers is the width of the subordinate set: a Table holds at most
+// this many direct members, matching the paper's 64-ary fanout and the
+// wire protocol's slot space (proto.SlotLimit). Raising it requires
+// widening proto.LoginOK.Index first — proto.SlotIndex guards the
+// narrowing.
+const MaxMembers = proto.SlotLimit
+
+// ErrFull is returned when every available subordinate slot is taken
+// (Capacity of them, at most MaxMembers).
+var ErrFull = errors.New("cluster: subordinate set is full")
 
 // Policy selects among multiple servers that have a file.
 type Policy int
@@ -85,6 +93,13 @@ type Config struct {
 	// deadline must not turn into a silent five-second wait for every
 	// parked client.
 	OnOffline func(index int)
+	// Capacity caps how many subordinate slots Login hands out,
+	// modelling a cell narrower than the wire's MaxMembers-wide
+	// maximum: the topology planner sets it to its fanout so a cell
+	// actually fills — and triggers overflow handling — at the planned
+	// width, not only at 64. Login returns ErrFull once Capacity slots
+	// are used. Default (and ceiling) MaxMembers.
+	Capacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()
+	}
+	if c.Capacity <= 0 || c.Capacity > MaxMembers {
+		c.Capacity = MaxMembers
 	}
 	return c
 }
@@ -116,8 +134,9 @@ type Table struct {
 	cfg Config
 
 	mu    sync.Mutex
-	slots [64]slot
+	slots [MaxMembers]slot
 	rr    int // round-robin cursor
+	ovRR  int // overflow round-robin cursor over supervisor members
 }
 
 // New returns an empty Table.
@@ -189,14 +208,35 @@ func (t *Table) findByName(name string) int {
 	return -1
 }
 
-// freeSlot returns an unused slot index, or -1. Caller holds t.mu.
+// freeSlot returns an unused slot index within Capacity, or -1. Caller
+// holds t.mu.
 func (t *Table) freeSlot() int {
-	for i := range t.slots {
+	for i := 0; i < t.cfg.Capacity; i++ {
 		if !t.slots[i].used {
 			return i
 		}
 	}
 	return -1
+}
+
+// OverflowTarget picks the subordinate a full table should vector an
+// incoming login at: an online supervisor member with a control address,
+// chosen round-robin so successive overflow logins spread across
+// supervisor children instead of piling onto one cell (cell overflow,
+// DESIGN.md §12). ok=false means this node has no supervisor children —
+// a leaf cell — and the login must be refused outright with LoginRej.
+func (t *Table) OverflowTarget() (ctlAddr string, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := 1; k <= MaxMembers; k++ {
+		i := (t.ovRR + k) % MaxMembers
+		s := &t.slots[i]
+		if s.used && s.online && s.role == proto.RoleSupervisor && s.ctlAddr != "" {
+			t.ovRR = i
+			return s.ctlAddr, true
+		}
+	}
+	return "", false
 }
 
 // Disconnect marks member index offline and arms the drop timer. If the
@@ -219,7 +259,7 @@ func (t *Table) Disconnect(index int) {
 // harness uses this pair so the drop decision is a scheduler event
 // rather than a background sleep.
 func (t *Table) DisconnectManual(index int) (gen uint64, ok bool) {
-	if index < 0 || index >= 64 {
+	if index < 0 || index >= MaxMembers {
 		return 0, false
 	}
 	t.mu.Lock()
@@ -263,7 +303,7 @@ func (t *Table) maybeDrop(index int, gen uint64) {
 
 // DropNow drops member index immediately (administrative removal).
 func (t *Table) DropNow(index int) {
-	if index < 0 || index >= 64 {
+	if index < 0 || index >= MaxMembers {
 		return
 	}
 	t.mu.Lock()
@@ -281,7 +321,7 @@ func (t *Table) DropNow(index int) {
 
 // Member returns a snapshot of member index.
 func (t *Table) Member(index int) (Member, bool) {
-	if index < 0 || index >= 64 {
+	if index < 0 || index >= MaxMembers {
 		return Member{}, false
 	}
 	t.mu.Lock()
@@ -401,7 +441,7 @@ func (t *Table) VmFor(path string) bitvec.Vec {
 // UpdateStats refreshes a member's load and free-space figures (from
 // Pong reports).
 func (t *Table) UpdateStats(index int, load uint32, free int64) {
-	if index < 0 || index >= 64 {
+	if index < 0 || index >= MaxMembers {
 		return
 	}
 	t.mu.Lock()
@@ -423,8 +463,8 @@ func (t *Table) Select(candidates bitvec.Vec, policy Policy) (index int, ok bool
 	switch policy {
 	case RoundRobin:
 		// Scan from the cursor, wrapping, for the first online candidate.
-		for k := 1; k <= 64; k++ {
-			i := (t.rr + k) % 64
+		for k := 1; k <= MaxMembers; k++ {
+			i := (t.rr + k) % MaxMembers
 			if candidates.Has(i) && t.slots[i].used && t.slots[i].online {
 				best = i
 				t.rr = i

@@ -285,3 +285,129 @@ func waitUntil(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+func supMember(name string) Member {
+	m := member(name, "/store")
+	m.Role = proto.RoleSupervisor
+	return m
+}
+
+// TestCapacityCapsLogins verifies that a narrower-than-64 cell fills at
+// its configured Capacity, the lever StartCluster uses to make overflow
+// reachable at any planned fanout.
+func TestCapacityCapsLogins(t *testing.T) {
+	tb := New(Config{Clock: vclock.NewFake(), Capacity: 2})
+	for i := 0; i < 2; i++ {
+		if _, _, err := tb.Login(member(fmt.Sprintf("n%d", i), "/store")); err != nil {
+			t.Fatalf("login %d: %v", i, err)
+		}
+	}
+	if _, _, err := tb.Login(member("n2", "/store")); err != ErrFull {
+		t.Fatalf("login past capacity: %v, want ErrFull", err)
+	}
+	// A known name still re-logs in fine at capacity.
+	if _, isNew, err := tb.Login(member("n1", "/store")); err != nil || isNew {
+		t.Fatalf("re-login at capacity: new=%v err=%v", isNew, err)
+	}
+	// Out-of-range or over-capacity Capacity values clamp to MaxMembers.
+	tb2 := New(Config{Clock: vclock.NewFake(), Capacity: MaxMembers + 7})
+	for i := 0; i < MaxMembers; i++ {
+		if _, _, err := tb2.Login(member(fmt.Sprintf("m%d", i), "/store")); err != nil {
+			t.Fatalf("login %d under clamped capacity: %v", i, err)
+		}
+	}
+	if _, _, err := tb2.Login(member("m-extra", "/store")); err != ErrFull {
+		t.Fatalf("login past MaxMembers: %v, want ErrFull", err)
+	}
+}
+
+// TestOverflowTarget covers the cell-overflow picker: a full cell with
+// supervisor children round-robins overflow logins across the online
+// ones; a leaf cell (servers only) has no target and must reject.
+func TestOverflowTarget(t *testing.T) {
+	tb := New(Config{Clock: vclock.NewFake(), Capacity: 4})
+	supIdx := map[string]int{}
+	for _, n := range []string{"supA", "supB"} {
+		idx, _, err := tb.Login(supMember(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		supIdx[n] = idx
+	}
+	for _, n := range []string{"srvA", "srvB"} {
+		if _, _, err := tb.Login(member(n, "/store")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := tb.Login(member("srvC", "/store")); err != ErrFull {
+		t.Fatalf("want full cell before overflow, got %v", err)
+	}
+	// Successive picks alternate between the two supervisors.
+	seen := map[string]int{}
+	for i := 0; i < 4; i++ {
+		addr, ok := tb.OverflowTarget()
+		if !ok {
+			t.Fatal("no overflow target in a cell with supervisors")
+		}
+		seen[addr]++
+	}
+	if seen["supA:1213"] != 2 || seen["supB:1213"] != 2 {
+		t.Errorf("overflow picks not spread round-robin: %v", seen)
+	}
+	// An offline supervisor is skipped.
+	tb.DisconnectManual(supIdx["supA"])
+	for i := 0; i < 2; i++ {
+		if addr, ok := tb.OverflowTarget(); !ok || addr != "supB:1213" {
+			t.Errorf("pick %d with supA offline: %q ok=%v, want supB:1213", i, addr, ok)
+		}
+	}
+	// A leaf cell has no target at all.
+	leaf := New(Config{Clock: vclock.NewFake(), Capacity: 1})
+	if _, _, err := leaf.Login(member("srvX", "/store")); err != nil {
+		t.Fatal(err)
+	}
+	if addr, ok := leaf.OverflowTarget(); ok {
+		t.Errorf("leaf cell produced overflow target %q", addr)
+	}
+}
+
+// TestSlotReuseUnderDropRace races a member's re-login against the
+// armed MaybeDrop from its disconnect, across every slot of a full
+// table. Whichever side wins, the member must end the round registered
+// and online: a re-login before the drop bumps the connection
+// generation and voids the drop; a drop before the re-login just makes
+// the login a fresh one. Run with -race.
+func TestSlotReuseUnderDropRace(t *testing.T) {
+	tb := New(Config{Clock: vclock.NewFake()})
+	for i := 0; i < MaxMembers; i++ {
+		if _, _, err := tb.Login(member(fmt.Sprintf("n%d", i), "/store")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 8; round++ {
+		var wg sync.WaitGroup
+		for i := 0; i < MaxMembers; i++ {
+			gen, ok := tb.DisconnectManual(i)
+			if !ok {
+				t.Fatalf("round %d: member %d not online", round, i)
+			}
+			wg.Add(2)
+			name := fmt.Sprintf("n%d", i)
+			go func() {
+				defer wg.Done()
+				tb.MaybeDrop(i, gen)
+			}()
+			go func() {
+				defer wg.Done()
+				if _, _, err := tb.Login(member(name, "/store")); err != nil {
+					t.Errorf("round %d: re-login %s: %v", round, name, err)
+				}
+			}()
+		}
+		wg.Wait()
+		sum := tb.Summary()
+		if sum.Members != MaxMembers || sum.Online != MaxMembers {
+			t.Fatalf("round %d: %+v, want %d online members", round, sum, MaxMembers)
+		}
+	}
+}

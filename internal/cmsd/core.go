@@ -77,6 +77,18 @@ type Config struct {
 	// FullDelay is the wait imposed when the fast window misses; it
 	// should equal the cache's processing deadline. Default 5 s.
 	FullDelay time.Duration
+	// Levels is how many redirector levels run at or below this core: 1
+	// for a leaf supervisor (whose children are data servers), up to the
+	// tree's full redirector depth for the root manager. A core's
+	// processing deadline must cover its subtree's worst-case resolution
+	// time — a supervisor child needs its own full delay before its
+	// silence means "no" (Section III-C1) — so the effective full delay
+	// (and with it the cache deadline and the wait verdict) is
+	// FullDelay × Levels. withDefaults folds the factor into FullDelay.
+	// Without this, a depth-4 manager declares definitive not-found
+	// while a grandchild supervisor is still legitimately querying, and
+	// clients see spurious ENOENT for files that exist. Default 1.
+	Levels int
 	// Clock supplies time everywhere. Default vclock.Real().
 	Clock vclock.Clock
 	// Tracer records per-request resolution spans. Default: a disabled
@@ -102,6 +114,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.FullDelay <= 0 {
 		c.FullDelay = 5 * time.Second
+	}
+	if c.Levels > 1 {
+		// Depth-aware deadline: from here on FullDelay is the effective
+		// per-flood deadline for this level's subtree.
+		c.FullDelay *= time.Duration(c.Levels)
+		c.Levels = 1
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.Real()

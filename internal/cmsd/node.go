@@ -1,7 +1,9 @@
 package cmsd
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +82,17 @@ type NodeConfig struct {
 	// (capped at 20× the base) and resets after a successful login.
 	// Default 200 ms.
 	ReconnectDelay time.Duration
+	// RejoinSpread bounds the re-login storm after an established parent
+	// link dies (a manager restart severs every child at once): the
+	// first redial of a previously-logged-in link is additionally
+	// delayed by up to RejoinSpread, staggered by the slot index the
+	// parent had assigned plus seeded jitter, so the subtree's
+	// re-logins — and the connect-epoch corrections each one triggers
+	// (Figure 3: Nc bump, C[i] stamp) — arrive spread over the window
+	// instead of as one thundering herd. Never-logged-in links (initial
+	// cluster bring-up) are not delayed. Default 4× ReconnectDelay;
+	// negative disables.
+	RejoinSpread time.Duration
 	// LoginTimeout bounds the login request/reply exchange with a
 	// parent, so a dropped LoginOK frame cannot wedge the redial loop
 	// forever. Default 3 s.
@@ -112,6 +125,9 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	}
 	if c.ReconnectDelay <= 0 {
 		c.ReconnectDelay = 200 * time.Millisecond
+	}
+	if c.RejoinSpread == 0 {
+		c.RejoinSpread = 4 * c.ReconnectDelay
 	}
 	if c.LoginTimeout <= 0 {
 		c.LoginTimeout = 3 * time.Second
@@ -351,10 +367,33 @@ func (n *Node) childConn(conn transport.Conn) {
 		Load:     login.Load, Free: login.Free,
 	})
 	if err != nil {
+		if errors.Is(err, cluster.ErrFull) {
+			// Cell overflow: a full cell with supervisor children vectors
+			// the newcomer at one of them instead of refusing outright —
+			// the 65th server finds a deeper slot rather than redialing a
+			// full parent forever (DESIGN.md §12). Leaf cells (no
+			// supervisor children) still reject.
+			if addr, ok := n.core.Table().OverflowTarget(); ok {
+				n.cfg.Logf("cmsd %s: cell full, vectoring %s at %s",
+					n.cfg.Name, login.Name, addr)
+				transport.SendMessage(conn, proto.LoginRedirect{CtlAddr: addr})
+				return
+			}
+		}
 		transport.SendMessage(conn, proto.LoginRej{Reason: err.Error()})
 		return
 	}
-	if err := transport.SendMessage(conn, proto.LoginOK{Index: uint8(idx)}); err != nil {
+	wireIdx, ok := proto.SlotIndex(idx)
+	if !ok {
+		// Table handed out an index the wire cannot carry — a fanout
+		// widened past proto.SlotLimit without widening LoginOK.Index.
+		// Refuse loudly rather than alias the slot mod 256.
+		n.core.Table().Disconnect(idx)
+		transport.SendMessage(conn, proto.LoginRej{
+			Reason: fmt.Sprintf("index %d exceeds wire slot range", idx)})
+		return
+	}
+	if err := transport.SendMessage(conn, proto.LoginOK{Index: wireIdx}); err != nil {
 		n.core.Table().Disconnect(idx)
 		return
 	}
@@ -465,6 +504,12 @@ func (n *Node) pinger() {
 // ---------------------------------------------------------------------
 // Child side: log into parents, answer queries.
 
+// maxLoginRedirects bounds a cell-overflow redirect chain: a login may
+// be vectored at most this many levels deeper before the child starts
+// over at its configured parent (guards against redirect cycles from a
+// confused or malicious tree).
+const maxLoginRedirects = 4
+
 func (n *Node) parentLoop(parent string) {
 	// Jittered exponential redial pacing: a dead parent is not hammered
 	// in lockstep by its whole subtree, yet a healthy reconnection
@@ -476,18 +521,28 @@ func (n *Node) parentLoop(parent string) {
 		Factor: 2,
 		Jitter: 0.2,
 	}, int64(names.Hash(n.cfg.Name+"->"+parent)))
+	rng := rand.New(rand.NewSource(int64(names.Hash(n.cfg.Name + "@" + parent))))
+	target := parent // current login target; overflow redirects re-point it
+	hops := 0        // redirect chain depth from the configured parent
 	for {
 		select {
 		case <-n.stop:
 			return
 		default:
 		}
-		conn, err := n.cfg.Net.Dial(parent)
+		conn, err := n.cfg.Net.Dial(target)
 		if err != nil {
+			if target != parent {
+				// The supervisor we were vectored at is unreachable; fall
+				// back to the configured parent rather than wedging on a
+				// dead overflow target.
+				target, hops = parent, 0
+			}
 			n.sleepOrStop(bo.Next())
 			continue
 		}
-		if n.runParentConn(parent, conn) {
+		res := n.runParentConn(target, conn)
+		if res.loggedIn {
 			bo.Reset()
 		}
 		select {
@@ -496,7 +551,36 @@ func (n *Node) parentLoop(parent string) {
 			return
 		default:
 		}
-		n.sleepOrStop(bo.Next())
+		if res.redirect != "" {
+			if hops < maxLoginRedirects {
+				// Cell overflow: follow the vector immediately — a
+				// redirect is placement progress, not a failure.
+				target = res.redirect
+				hops++
+				continue
+			}
+			n.cfg.Logf("cmsd %s: login redirect chain exceeded %d hops, restarting at %s",
+				n.cfg.Name, maxLoginRedirects, parent)
+			target, hops = parent, 0
+		}
+		if res.rejected && target != parent {
+			// A full leaf cell refused us; restarting at the configured
+			// parent lets its overflow round-robin vector the next
+			// attempt at a different subtree, instead of redialing the
+			// same full cell forever.
+			target, hops = parent, 0
+		}
+		delay := bo.Next()
+		if res.loggedIn && n.cfg.RejoinSpread > 0 {
+			// An established link died — likely alongside every sibling's
+			// (manager restart). Stagger the re-login by the slot index
+			// the parent had assigned, plus jitter, so the subtree's
+			// re-subscription storm is spread over RejoinSpread instead
+			// of arriving at once (FAULTS.md: restart storm).
+			delay += time.Duration(float64(n.cfg.RejoinSpread) *
+				(float64(res.index) + rng.Float64()) / float64(cluster.MaxMembers))
+		}
+		n.sleepOrStop(delay)
 	}
 }
 
@@ -521,17 +605,27 @@ func (n *Node) loginMsg() proto.Login {
 	}
 }
 
+// parentResult is what one parent-connection attempt reports back to
+// the redial loop.
+type parentResult struct {
+	loggedIn bool   // login succeeded; backoff resets, index is valid
+	index    int    // slot index assigned by the parent (LoginOK.Index)
+	redirect string // non-empty: cell overflow, retry login at this address
+	rejected bool   // parent sent LoginRej; an overflow target must be abandoned
+}
+
 // runParentConn performs the login exchange and then serves the parent
 // link until it breaks. It reports whether login succeeded (the redial
-// loop resets its backoff only then).
-func (n *Node) runParentConn(parent string, conn transport.Conn) bool {
+// loop resets its backoff only then), the slot index the parent
+// assigned, and any overflow redirect target.
+func (n *Node) runParentConn(parent string, conn transport.Conn) parentResult {
 	if !n.track(conn) {
-		return false
+		return parentResult{}
 	}
 	defer n.untrack(conn)
 	defer conn.Close()
 	if err := transport.SendMessage(conn, n.loginMsg()); err != nil {
-		return false
+		return parentResult{}
 	}
 	// The login reply is awaited under a timeout: a dropped LoginOK
 	// frame must surface as a failed attempt, not a wedged loop.
@@ -548,41 +642,47 @@ func (n *Node) runParentConn(parent string, conn transport.Conn) bool {
 	select {
 	case r := <-replyCh:
 		if r.err != nil {
-			return false
+			return parentResult{}
 		}
 		frame = r.frame
 	case <-n.cfg.Clock.After(n.cfg.LoginTimeout):
 		n.cfg.Logf("cmsd %s: login to %s timed out", n.cfg.Name, parent)
 		conn.Close() // unblocks the Recv goroutine
-		return false
+		return parentResult{}
 	case <-n.stop:
 		conn.Close()
-		return false
+		return parentResult{}
 	}
 	msg, err := proto.Unmarshal(frame)
 	if err != nil {
-		return false
+		return parentResult{}
 	}
 	if rej, isRej := msg.(proto.LoginRej); isRej {
 		n.cfg.Logf("cmsd %s: login rejected by %s: %s", n.cfg.Name, parent, rej.Reason)
 		n.sleepOrStop(5 * n.cfg.ReconnectDelay)
-		return false
+		return parentResult{rejected: true}
 	}
-	if _, isOK := msg.(proto.LoginOK); !isOK {
-		return false
+	if rd, isRd := msg.(proto.LoginRedirect); isRd {
+		n.cfg.Logf("cmsd %s: login vectored by full cell %s at %s", n.cfg.Name, parent, rd.CtlAddr)
+		return parentResult{redirect: rd.CtlAddr}
 	}
+	loginOK, isOK := msg.(proto.LoginOK)
+	if !isOK {
+		return parentResult{}
+	}
+	res := parentResult{loggedIn: true, index: int(loginOK.Index)}
 	n.parentsUp.Add(1)
 	defer n.parentsUp.Add(-1)
-	n.cfg.Logf("cmsd %s: logged into %s", n.cfg.Name, parent)
+	n.cfg.Logf("cmsd %s: logged into %s as index %d", n.cfg.Name, parent, res.index)
 
 	for {
 		frame, err := conn.Recv()
 		if err != nil {
-			return true
+			return res
 		}
 		msg, err := proto.Unmarshal(frame)
 		if err != nil {
-			return true
+			return res
 		}
 		switch m := msg.(type) {
 		case proto.Query:
@@ -593,7 +693,7 @@ func (n *Node) runParentConn(parent string, conn transport.Conn) bool {
 				pong = proto.Pong{Load: n.data.Load(), Free: n.data.Store().Free()}
 			}
 			if err := transport.SendMessage(conn, pong); err != nil {
-				return true
+				return res
 			}
 		}
 	}

@@ -1,0 +1,95 @@
+package detsim
+
+import (
+	"testing"
+	"time"
+
+	"scalla/internal/faults"
+)
+
+func quickTreeCfg(seed int64) TreeConfig {
+	return TreeConfig{
+		Seed:    seed,
+		Servers: 1024,
+		Fanout:  16,
+	}
+}
+
+func TestTreeTopology(t *testing.T) {
+	res := RunTree(quickTreeCfg(1))
+	if res.Levels != 3 {
+		t.Errorf("1024 servers at fanout 16: levels = %d, want 3 (depth-4 tree)", res.Levels)
+	}
+	if res.Cores != 1+4+64 {
+		t.Errorf("cores = %d, want 69 (1 manager + 4 + 64 supervisors)", res.Cores)
+	}
+	if res.Servers != 1024 {
+		t.Errorf("servers = %d, want 1024", res.Servers)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Ops != 12 {
+		t.Errorf("completed %d ops, want 12", res.Ops)
+	}
+}
+
+func TestTreeStrictHops(t *testing.T) {
+	// In a strict run every completed lookup walks the full redirector
+	// chain: a depth-4 resolve is exactly 3 redirect hops.
+	res := RunTree(quickTreeCfg(7))
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.HopMax > res.Levels {
+		t.Errorf("hop max = %d, want ≤ %d (one redirect per level)", res.HopMax, res.Levels)
+	}
+	if res.Redirects == 0 || res.Queries == 0 || res.Haves == 0 {
+		t.Errorf("vacuous run: redirects=%d queries=%d haves=%d",
+			res.Redirects, res.Queries, res.Haves)
+	}
+}
+
+func TestTreeReplay(t *testing.T) {
+	a := RunTree(quickTreeCfg(42))
+	b := RunTree(quickTreeCfg(42))
+	if a.Hash != b.Hash {
+		t.Fatalf("same seed diverged: %s vs %s", a.Hash, b.Hash)
+	}
+	if a.Steps != b.Steps || a.Ops != b.Ops {
+		t.Fatalf("same seed diverged: steps %d/%d ops %d/%d", a.Steps, b.Steps, a.Ops, b.Ops)
+	}
+}
+
+func TestTreeFaulted(t *testing.T) {
+	cfg := quickTreeCfg(3)
+	cfg.Plan = faults.Plan{
+		Drop: 0.10, Dup: 0.05, Delay: 0.05, Reorder: 0.05,
+		DelayMin: 5 * time.Millisecond, DelayMax: 60 * time.Millisecond,
+	}
+	cfg.Crashes = 8
+	cfg.ManagerRestarts = 1
+	res := RunTree(cfg)
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.MgrRestarts != 1 {
+		t.Errorf("manager restarts = %d, want 1", res.MgrRestarts)
+	}
+}
+
+func TestTreeDepth3Comparison(t *testing.T) {
+	// 64 servers at fanout 16 is a depth-3 tree (one supervisor level):
+	// the hop ceiling drops with the depth.
+	cfg := TreeConfig{Seed: 5, Servers: 64, Fanout: 16}
+	res := RunTree(cfg)
+	if res.Levels != 2 {
+		t.Fatalf("64 servers at fanout 16: levels = %d, want 2", res.Levels)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	if res.HopMax > res.Levels {
+		t.Errorf("hop max = %d, want ≤ %d", res.HopMax, res.Levels)
+	}
+}

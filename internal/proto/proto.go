@@ -40,6 +40,9 @@ const (
 	// KHaveNot exists only for the respond-always baseline of
 	// experiment E10; Scalla proper never sends negative responses.
 	KHaveNot
+	// KLoginRedirect vectors a subordinate whose parent cell is full at
+	// a supervisor with spare capacity (cell overflow, DESIGN.md §12).
+	KLoginRedirect
 )
 
 // Data-plane kinds (client ↔ xrootd/cmsd).
@@ -125,6 +128,24 @@ type Login struct {
 // Kind implements Message.
 func (Login) Kind() Kind { return KLogin }
 
+// SlotLimit is the width of a cmsd subordinate set: indices live in
+// [0, SlotLimit). The wire carries them as uint8 (LoginOK.Index), so any
+// future fanout change must widen the field before raising this — use
+// SlotIndex for every int→uint8 narrowing so an overflowing index is a
+// refused login, not a silent alias (the respq 32/32 token-aliasing bug,
+// in slot form).
+const SlotLimit = 64
+
+// SlotIndex converts a membership-table index to its wire form with a
+// bounds check. ok=false means the index does not fit the protocol's
+// [0, SlotLimit) slot space and must not be sent.
+func SlotIndex(i int) (idx uint8, ok bool) {
+	if i < 0 || i >= SlotLimit {
+		return 0, false
+	}
+	return uint8(i), true
+}
+
 // LoginOK acknowledges a Login and tells the subordinate its index in
 // the parent's 64-wide set.
 type LoginOK struct {
@@ -133,6 +154,19 @@ type LoginOK struct {
 
 // Kind implements Message.
 func (LoginOK) Kind() Kind { return KLoginOK }
+
+// LoginRedirect refuses a Login because the parent's subordinate set is
+// full, vectoring the subordinate at a supervisor child with capacity
+// instead (cell overflow): the subordinate should retry its login at
+// CtlAddr. Unlike LoginRej, a redirect is not an error — it is how a
+// 65th server finds its place in the tree without redial-looping
+// against a full parent forever.
+type LoginRedirect struct {
+	CtlAddr string
+}
+
+// Kind implements Message.
+func (LoginRedirect) Kind() Kind { return KLoginRedirect }
 
 // LoginRej refuses a Login (set full, duplicate name, bad role).
 type LoginRej struct {
@@ -669,6 +703,8 @@ func appendMessage(buf []byte, m Message, stream uint32) []byte {
 		w.u8(v.Index)
 	case LoginRej:
 		w.str(v.Reason)
+	case LoginRedirect:
+		w.str(v.CtlAddr)
 	case Query:
 		w.u64(v.QID)
 		w.str(v.Path)
@@ -794,6 +830,8 @@ func UnmarshalStream(frame []byte) (Message, uint32, error) {
 		m = LoginOK{Index: r.u8()}
 	case KLoginRej:
 		m = LoginRej{Reason: r.str()}
+	case KLoginRedirect:
+		m = LoginRedirect{CtlAddr: r.str()}
 	case KQuery:
 		m = Query{QID: r.u64(), Path: r.str(), Hash: r.u32(), Write: r.boolean()}
 	case KHave:

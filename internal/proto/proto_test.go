@@ -15,6 +15,7 @@ func all() []Message {
 			Prefixes: []string{"/store", "/data"}, Free: 1 << 40, Load: 17},
 		LoginOK{Index: 42},
 		LoginRej{Reason: "set full"},
+		LoginRedirect{CtlAddr: "sup3:1213"},
 		Query{QID: 9, Path: "/store/a.root", Hash: 0xDEADBEEF, Write: true},
 		Have{QID: 9, Path: "/store/a.root", Hash: 0xDEADBEEF, Pending: true, CanWrite: true},
 		HaveNot{QID: 9, Path: "/store/a.root", Hash: 0xDEADBEEF},

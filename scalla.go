@@ -120,6 +120,11 @@ type Options struct {
 	// ReconnectDelay is the base of the subordinate redial backoff.
 	// Default 50 ms.
 	ReconnectDelay time.Duration
+	// RejoinSpread bounds the re-login storm after a parent restart by
+	// staggering each child's first redial by its slot index (see
+	// cmsd.NodeConfig.RejoinSpread). Default 4× ReconnectDelay;
+	// negative disables.
+	RejoinSpread time.Duration
 	// Tracer, if set, records resolution spans on every redirector node
 	// (and is where a faults.Network should send its fault spans, so
 	// /tracez interleaves injections with the resolutions they disturb).
@@ -182,13 +187,34 @@ func StartCluster(o Options) (*Cluster, error) {
 	}
 	c := &Cluster{opts: o, Net: o.Net}
 
-	coreCfg := cmsd.Config{
-		Cache:       cache.Config{Lifetime: o.Lifetime},
-		Queue:       respq.Config{Period: o.FastPeriod},
-		Cluster:     cluster.Config{DropDelay: o.DropDelay},
-		FullDelay:   o.FullDelay,
-		ReadPolicy:  o.ReadPolicy,
-		WritePolicy: o.WritePolicy,
+	// Compute the supervisor level widths bottom-up: each level must
+	// fan its subordinates out at no more than Fanout per node, so a
+	// level of width w needs ceil(w/Fanout) parents above it. widths
+	// ends up ordered top (just under the managers) to bottom.
+	var widths []int
+	for n := o.Servers; n > o.Fanout; {
+		n = (n + o.Fanout - 1) / o.Fanout
+		widths = append([]int{n}, widths...)
+	}
+
+	// coreFor parameterizes one redirector level: levels counts the
+	// redirector tiers at or below that core (1 = leaf supervisor), and
+	// scales its processing deadline so a deep subtree's legitimate
+	// resolution time never reads as definitive not-found upstream
+	// (cmsd.Config.Levels, Section III-C1).
+	coreFor := func(levels int) cmsd.Config {
+		return cmsd.Config{
+			Cache: cache.Config{Lifetime: o.Lifetime},
+			Queue: respq.Config{Period: o.FastPeriod},
+			// Capacity=Fanout makes each cell actually fill at the
+			// planned width, so cell overflow engages at any scale, not
+			// only at the wire's 64-member ceiling.
+			Cluster:     cluster.Config{DropDelay: o.DropDelay, Capacity: o.Fanout},
+			FullDelay:   o.FullDelay,
+			Levels:      levels,
+			ReadPolicy:  o.ReadPolicy,
+			WritePolicy: o.WritePolicy,
+		}
 	}
 
 	// Head node replicas: every direct subordinate logs into all of
@@ -199,9 +225,10 @@ func StartCluster(o Options) (*Cluster, error) {
 		mgr, err := c.startNode(cmsd.NodeConfig{
 			Name: name, Role: proto.RoleManager,
 			DataAddr: name + ":data", CtlAddr: name + ":ctl",
-			Net: o.Net, Core: coreCfg, PingInterval: o.PingInterval,
+			Net: o.Net, Core: coreFor(len(widths) + 1), PingInterval: o.PingInterval,
 			MissedPings: o.MissedPings, ReconnectDelay: o.ReconnectDelay,
-			Tracer: o.Tracer,
+			RejoinSpread: o.RejoinSpread,
+			Tracer:       o.Tracer,
 		})
 		if err != nil {
 			c.Stop()
@@ -211,16 +238,6 @@ func StartCluster(o Options) (*Cluster, error) {
 		topParents = append(topParents, name+":ctl")
 	}
 	c.Manager = c.Managers[0]
-
-	// Compute the supervisor level widths bottom-up: each level must
-	// fan its subordinates out at no more than Fanout per node, so a
-	// level of width w needs ceil(w/Fanout) parents above it. widths
-	// ends up ordered top (just under the managers) to bottom.
-	var widths []int
-	for n := o.Servers; n > o.Fanout; {
-		n = (n + o.Fanout - 1) / o.Fanout
-		widths = append([]int{n}, widths...)
-	}
 
 	// parents holds, per slot at the current level, the set of parent
 	// control addresses a subordinate there must log into. The top
@@ -234,9 +251,10 @@ func StartCluster(o Options) (*Cluster, error) {
 				Name: name, Role: proto.RoleSupervisor,
 				DataAddr: name + ":data", CtlAddr: name + ":ctl",
 				Parents: parents[i%len(parents)], Prefixes: o.Prefixes,
-				Net: o.Net, Core: coreCfg, PingInterval: o.PingInterval,
+				Net: o.Net, Core: coreFor(len(widths) - level), PingInterval: o.PingInterval,
 				MissedPings: o.MissedPings, ReconnectDelay: o.ReconnectDelay,
-				Tracer: o.Tracer,
+				RejoinSpread: o.RejoinSpread,
+				Tracer:       o.Tracer,
 			})
 			if err != nil {
 				c.Stop()
@@ -270,6 +288,7 @@ func StartCluster(o Options) (*Cluster, error) {
 			RespondAlways:  o.RespondAlways,
 			PingInterval:   o.PingInterval,
 			ReconnectDelay: o.ReconnectDelay,
+			RejoinSpread:   o.RejoinSpread,
 		}
 		srv, err := c.startNode(cfg)
 		if err != nil {
@@ -373,6 +392,52 @@ func (c *Cluster) ManagerAddrs() []string {
 // faults.Network Sever of its addresses to also cut in-flight frames.
 func (c *Cluster) CrashServer(i int) {
 	c.Servers[i].Stop()
+}
+
+// AddServer starts one brand-new data server after the cluster has
+// formed, aimed at the head nodes like any other direct subordinate. If
+// the manager's cell is already full, the login is vectored at a
+// supervisor child via cell overflow (proto.LoginRedirect) and the
+// newcomer converges to a deeper slot instead of redial-looping — this
+// is how a 65th server joins a full 64-wide cell (DESIGN.md §12). The
+// call returns once the node is started; use WaitFormed to block until
+// its login (possibly after following redirects) lands.
+func (c *Cluster) AddServer() (*Node, error) {
+	i := len(c.Servers)
+	scfg := store.Config{StageDelay: c.opts.StageDelay}
+	if c.opts.StoreRoot != "" {
+		scfg.Root = fmt.Sprintf("%s/srv%d", c.opts.StoreRoot, i)
+		scfg.Fsync = c.opts.StoreFsync
+	}
+	st, err := store.Open(scfg)
+	if err != nil {
+		return nil, err
+	}
+	parents := make([]string, len(c.Managers))
+	for r, m := range c.Managers {
+		parents[r] = m.CtlAddr()
+	}
+	cfg := cmsd.NodeConfig{
+		Name: fmt.Sprintf("srv%d", i), Role: proto.RoleServer,
+		DataAddr: fmt.Sprintf("srv%d:data", i),
+		Parents:  parents,
+		Prefixes: c.opts.Prefixes,
+		Net:      c.Net, Store: st,
+		RespondAlways:  c.opts.RespondAlways,
+		PingInterval:   c.opts.PingInterval,
+		ReconnectDelay: c.opts.ReconnectDelay,
+		RejoinSpread:   c.opts.RejoinSpread,
+	}
+	srv, err := c.startNode(cfg)
+	if err != nil {
+		st.Close()
+		return nil, err
+	}
+	c.Servers = append(c.Servers, srv)
+	c.stores = append(c.stores, st)
+	c.serverCfgs = append(c.serverCfgs, cfg)
+	c.expectedLinks += len(parents)
+	return srv, nil
 }
 
 // RestartServer restarts a crashed data server with its original
