@@ -26,13 +26,16 @@ import (
 const e2eLatency = 50 * time.Microsecond
 
 // e2eRig is a 1-manager/1-server cluster over a latency-bearing
-// in-process network.
+// in-process network, or — for the -net tcp mode — over real loopback
+// sockets.
 type e2eRig struct {
-	net  transport.Network
-	mgr  *cmsd.Node
-	srv  *cmsd.Node
-	st   *store.Store
-	stop func()
+	net     transport.Network
+	mgr     *cmsd.Node
+	srv     *cmsd.Node
+	st      *store.Store
+	mgrData string // address clients dial for the manager's data plane
+	srvData string // address of the server's data plane
+	stop    func()
 }
 
 func newE2ERig() (*e2eRig, error) { return newE2ERigStore(e2eLatency, store.New(store.Config{})) }
@@ -43,9 +46,16 @@ func newE2ERigLat(lat time.Duration) (*e2eRig, error) {
 
 func newE2ERigStore(lat time.Duration, st *store.Store) (*e2eRig, error) {
 	net := transport.NewInProc(transport.InProcConfig{Latency: lat})
+	return newE2ERigNet(net, st, "mgr:data", "mgr:ctl", "srv0:data")
+}
+
+// newE2ERigNet assembles the 1-manager/1-server cluster over any
+// Network with the given listen addresses — the shared core of the
+// in-process and real-socket rigs.
+func newE2ERigNet(net transport.Network, st *store.Store, mgrData, mgrCtl, srvData string) (*e2eRig, error) {
 	mgr, err := cmsd.NewNode(cmsd.NodeConfig{
 		Name: "mgr", Role: proto.RoleManager,
-		DataAddr: "mgr:data", CtlAddr: "mgr:ctl", Net: net,
+		DataAddr: mgrData, CtlAddr: mgrCtl, Net: net,
 		Core:           cmsd.Config{FullDelay: time.Second},
 		PingInterval:   50 * time.Millisecond,
 		ReconnectDelay: 20 * time.Millisecond,
@@ -58,7 +68,7 @@ func newE2ERigStore(lat time.Duration, st *store.Store) (*e2eRig, error) {
 	}
 	srv, err := cmsd.NewNode(cmsd.NodeConfig{
 		Name: "srv0", Role: proto.RoleServer,
-		DataAddr: "srv0:data", Parents: []string{"mgr:ctl"}, Prefixes: []string{"/"},
+		DataAddr: srvData, Parents: []string{mgrCtl}, Prefixes: []string{"/"},
 		Net: net, Store: st,
 		ReconnectDelay: 20 * time.Millisecond,
 	})
@@ -80,6 +90,7 @@ func newE2ERigStore(lat time.Duration, st *store.Store) (*e2eRig, error) {
 		time.Sleep(time.Millisecond)
 	}
 	return &e2eRig{net: net, mgr: mgr, srv: srv, st: st,
+		mgrData: mgrData, srvData: srvData,
 		stop: func() { srv.Stop(); mgr.Stop() }}, nil
 }
 
@@ -118,11 +129,11 @@ func benchE2E(quick bool) ([]BenchResult, error) {
 	if quick {
 		rpcs = 800
 	}
-	single, err := benchRPC(rig, 1, rpcs)
+	single, err := benchRPC(rig, 1, rpcs, "")
 	if err != nil {
 		return nil, err
 	}
-	pipelined, err := benchRPC(rig, 8, rpcs)
+	pipelined, err := benchRPC(rig, 8, rpcs, "")
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +145,7 @@ func benchE2E(quick bool) ([]BenchResult, error) {
 // server open) for a location the manager already has cached.
 func benchOpenCached(rig *e2eRig, n int) (BenchResult, error) {
 	rig.st.Put("/store/open.root", []byte("x"))
-	cl := client.New(client.Config{Net: rig.net, Managers: []string{"mgr:data"}})
+	cl := client.New(client.Config{Net: rig.net, Managers: []string{rig.mgrData}})
 	defer cl.Close()
 	// Warm the manager's location cache.
 	f, err := cl.Open("/store/open.root")
@@ -170,7 +181,7 @@ func benchReadSeq(rig *e2eRig, readahead, fileMB int, suffix string) (BenchResul
 		return BenchResult{}, err
 	}
 	cl := client.New(client.Config{
-		Net: rig.net, Managers: []string{"mgr:data"}, Readahead: readahead,
+		Net: rig.net, Managers: []string{rig.mgrData}, Readahead: readahead,
 	})
 	defer cl.Close()
 
@@ -230,10 +241,10 @@ func benchReadSeq(rig *e2eRig, readahead, fileMB int, suffix string) (BenchResul
 // benchRPC issues n small Reads over one shared multiplexed connection
 // from `streams` concurrent goroutines, measuring per-call latency.
 // streams=1 is the lock-step baseline; streams=8 shows pipelining.
-func benchRPC(rig *e2eRig, streams, n int) (BenchResult, error) {
+func benchRPC(rig *e2eRig, streams, n int, suffix string) (BenchResult, error) {
 	rig.st.Put("/store/rpc.root", make([]byte, 4096))
 	// Resolve and open directly at the server over one mux conn.
-	mc, err := mux.Dial(rig.net, "srv0:data", mux.Options{MaxInFlight: 64})
+	mc, err := mux.Dial(rig.net, rig.srvData, mux.Options{MaxInFlight: 64})
 	if err != nil {
 		return BenchResult{}, err
 	}
@@ -247,9 +258,9 @@ func benchRPC(rig *e2eRig, streams, n int) (BenchResult, error) {
 		return BenchResult{}, fmt.Errorf("rpc bench open: %#v", reply)
 	}
 
-	op := "rpc.single"
+	op := "rpc.single" + suffix
 	if streams > 1 {
-		op = fmt.Sprintf("rpc.pipelined.%d", streams)
+		op = fmt.Sprintf("rpc.pipelined.%d%s", streams, suffix)
 	}
 	h := metrics.NewRegistry().Histogram(op)
 	var (

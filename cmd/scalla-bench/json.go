@@ -45,6 +45,10 @@ type BenchResult struct {
 	// fraction of served bytes not pulled from origin.
 	HitRate       float64 `json:"hit_rate,omitempty"`
 	OriginOffload float64 `json:"origin_offload,omitempty"`
+	// FramesPerWritev is set only for ops run over real sockets with
+	// wire batching counters (rpc.pipelined.*.tcp): mean frames
+	// coalesced into one vectored write syscall during the run.
+	FramesPerWritev float64 `json:"frames_per_writev,omitempty"`
 	// Depth, HopP50, and MsgsPerOp are set only for the tree-scaling
 	// rows (depth.resolve.*): tree depth in node levels, median redirect
 	// hops per resolve, and protocol messages per resolve. Their
@@ -85,6 +89,11 @@ func runJSONBench(quick bool) (string, error) {
 		return "", err
 	}
 	out.Results = append(out.Results, e2e...)
+	tcp, err := benchE2ETCP(quick)
+	if err != nil {
+		return "", err
+	}
+	out.Results = append(out.Results, tcp...)
 	disk, err := benchDisk(quick)
 	if err != nil {
 		return "", err

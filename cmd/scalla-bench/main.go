@@ -32,7 +32,20 @@ func main() {
 	jsonOut := flag.Bool("json", false, "run the micro-benchmark suite and write BENCH_<date>.json")
 	surge := flag.Bool("surge", false, "run the TCP overload-protection surge bench standalone, with queue-depth assertions")
 	depth4 := flag.Bool("depth4", false, "run the depth-4 tree scaling sweep (simulated servers over real cores) and print the scaling table")
+	netMode := flag.String("net", "", "run the e2e data-plane suite over the named interconnect: tcp (real loopback sockets)")
 	flag.Parse()
+
+	if *netMode != "" {
+		if *netMode != "tcp" {
+			fmt.Fprintf(os.Stderr, "scalla-bench: unknown -net mode %q (only tcp)\n", *netMode)
+			os.Exit(2)
+		}
+		if err := runNetTCP(*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "scalla-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *depth4 {
 		rows, err := runDepth4(*quick)

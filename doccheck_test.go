@@ -30,6 +30,7 @@ var docCheckedPackages = []string{
 	"internal/mux",
 	"internal/pcache",
 	"internal/store",
+	"internal/obs",
 }
 
 func TestExportedIdentifiersAreDocumented(t *testing.T) {

@@ -238,6 +238,35 @@ func (cl *Client) rpc(addr string, m proto.Message) (proto.Message, error) {
 	return nil, fmt.Errorf("%w: %s unreachable: %v", ErrIO, addr, lastErr)
 }
 
+// rpcFrame is rpc for the data path: it additionally returns the pooled
+// reply frame — which the decoded message's byte fields may alias — and
+// the caller must Release it on every outcome once done with the reply.
+func (cl *Client) rpcFrame(addr string, m proto.Message) (proto.Message, *proto.Frame, error) {
+	var lastErr error
+	for attempt := 0; attempt < cl.cfg.RPCAttempts; attempt++ {
+		if attempt > 0 {
+			cl.cfg.Clock.Sleep(cl.retry.Next())
+		}
+		mc, err := cl.pool.Get(addr)
+		if err != nil {
+			return nil, nil, err
+		}
+		ca, err := mc.Start(m)
+		if err == nil {
+			var reply proto.Message
+			var frame *proto.Frame
+			reply, frame, err = ca.WaitFrame(cl.cfg.RPCTimeout)
+			if err == nil {
+				cl.retry.Reset()
+				return reply, frame, nil
+			}
+		}
+		cl.pool.Drop(addr, mc)
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("%w: %s unreachable: %v", ErrIO, addr, lastErr)
+}
+
 // walk sends m starting at a manager, following Redirects and obeying
 // Waits, until a terminal reply arrives. It returns the reply and the
 // address that produced it. When every replica fails the error is a
@@ -483,7 +512,7 @@ func (f *File) readSequential(p []byte) (int, error) {
 	}
 	head := f.ra[0]
 	f.ra = f.ra[1:]
-	reply, err := head.call.Wait(f.cl.cfg.RPCTimeout)
+	reply, frame, err := head.call.WaitFrame(f.cl.cfg.RPCTimeout)
 	if err != nil {
 		// Timeout or connection death: the rest of the window is dead or
 		// stale either way. The lock-step path redials and recovers.
@@ -496,10 +525,13 @@ func (f *File) readSequential(p []byte) (int, error) {
 		// Wait verdict (staging) or an error: the speculative window was
 		// issued against the wrong state of the file. Drain it and let
 		// the lock-step path sleep/recover.
+		frame.Release()
 		f.cancelReadahead()
 		return f.readAtLocked(p, f.off, true)
 	}
+	// data.Bytes aliases the pooled reply frame; copy out, then recycle.
 	n := copy(p, data.Bytes)
+	frame.Release()
 	if data.EOF || uint32(n) != want {
 		// The tail of the window overshot the end of the file.
 		f.cancelReadahead()
@@ -650,9 +682,12 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 func (f *File) readAtLocked(p []byte, off int64, mayRecover bool) (int, error) {
 	var shedWaited time.Duration
 retry:
-	reply, err := f.cl.rpc(f.addr, proto.Read{FH: f.fh, Off: off, N: uint32(len(p))})
+	// The frame-returning rpc keeps the hot read path pooled: the Data
+	// bytes are copied out below and the frame recycled on every verdict.
+	reply, frame, err := f.cl.rpcFrame(f.addr, proto.Read{FH: f.fh, Off: off, N: uint32(len(p))})
 	if err == nil {
 		if w, isWait := reply.(proto.Wait); isWait {
+			frame.Release()
 			f.cl.cfg.Clock.Sleep(time.Duration(w.Millis) * time.Millisecond)
 			goto retry
 		}
@@ -660,6 +695,7 @@ retry:
 			// Overload shed: back off and re-send. The server is fine
 			// (it answered), so recovery to another replica is wrong;
 			// bound the patience by the wait budget.
+			frame.Release()
 			d := f.cl.shedDelay(ra)
 			shedWaited += d
 			if shedWaited > f.cl.cfg.WaitBudget {
@@ -681,11 +717,14 @@ retry:
 	switch r := reply.(type) {
 	case proto.Data:
 		n := copy(p, r.Bytes)
-		if r.EOF {
+		eof := r.EOF
+		frame.Release()
+		if eof {
 			return n, io.EOF
 		}
 		return n, nil
 	case proto.Err:
+		frame.Release()
 		if mayRecover && (r.Code == proto.ENoEnt || r.Code == proto.EIO) {
 			if rerr := f.recover(); rerr != nil {
 				return 0, rerr
@@ -694,6 +733,7 @@ retry:
 		}
 		return 0, errFrom(r)
 	default:
+		frame.Release()
 		return 0, fmt.Errorf("%w: unexpected read reply %T", ErrIO, reply)
 	}
 }

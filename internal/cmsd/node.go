@@ -347,11 +347,12 @@ func (n *Node) childConn(conn transport.Conn) {
 	}
 	defer n.untrack(conn)
 	defer conn.Close()
-	frame, err := conn.Recv()
+	f, err := transport.RecvFrame(conn)
 	if err != nil {
 		return
 	}
-	msg, err := proto.Unmarshal(frame)
+	msg, err := proto.Unmarshal(f.Bytes())
+	f.Release() // control messages copy their strings at decode
 	if err != nil {
 		return
 	}
@@ -412,11 +413,12 @@ func (n *Node) childConn(conn transport.Conn) {
 	n.core.MemberUp(idx)
 
 	for {
-		frame, err := conn.Recv()
+		f, err := transport.RecvFrame(conn)
 		if err != nil {
 			break
 		}
-		msg, err := proto.Unmarshal(frame)
+		msg, err := proto.Unmarshal(f.Bytes())
+		f.Release()
 		if err != nil {
 			break
 		}
@@ -628,23 +630,25 @@ func (n *Node) runParentConn(parent string, conn transport.Conn) parentResult {
 		return parentResult{}
 	}
 	// The login reply is awaited under a timeout: a dropped LoginOK
-	// frame must surface as a failed attempt, not a wedged loop.
+	// frame must surface as a failed attempt, not a wedged loop. A reply
+	// abandoned by the timeout falls to the GC unreleased, which pooled
+	// frames tolerate.
 	type recvResult struct {
-		frame []byte
-		err   error
+		f   *proto.Frame
+		err error
 	}
 	replyCh := make(chan recvResult, 1)
 	go func() {
-		f, err := conn.Recv()
+		f, err := transport.RecvFrame(conn)
 		replyCh <- recvResult{f, err}
 	}()
-	var frame []byte
+	var f *proto.Frame
 	select {
 	case r := <-replyCh:
 		if r.err != nil {
 			return parentResult{}
 		}
-		frame = r.frame
+		f = r.f
 	case <-n.cfg.Clock.After(n.cfg.LoginTimeout):
 		n.cfg.Logf("cmsd %s: login to %s timed out", n.cfg.Name, parent)
 		conn.Close() // unblocks the Recv goroutine
@@ -653,7 +657,8 @@ func (n *Node) runParentConn(parent string, conn transport.Conn) parentResult {
 		conn.Close()
 		return parentResult{}
 	}
-	msg, err := proto.Unmarshal(frame)
+	msg, err := proto.Unmarshal(f.Bytes())
+	f.Release()
 	if err != nil {
 		return parentResult{}
 	}
@@ -676,11 +681,12 @@ func (n *Node) runParentConn(parent string, conn transport.Conn) parentResult {
 	n.cfg.Logf("cmsd %s: logged into %s as index %d", n.cfg.Name, parent, res.index)
 
 	for {
-		frame, err := conn.Recv()
+		f, err := transport.RecvFrame(conn)
 		if err != nil {
 			return res
 		}
-		msg, err := proto.Unmarshal(frame)
+		msg, err := proto.Unmarshal(f.Bytes())
+		f.Release()
 		if err != nil {
 			return res
 		}

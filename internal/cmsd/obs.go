@@ -82,6 +82,9 @@ func (n *Node) Frame() obs.Frame {
 		s := cn.Stats()
 		f.Net = &obs.NetSummary{FramesSent: s.FramesSent, BytesSent: s.BytesSent, Dials: s.Dials}
 	}
+	if w, ok := transport.WireOf(n.cfg.Net); ok {
+		f.Wire = w.Summary()
+	}
 	if f.Counters == nil {
 		f.Counters = map[string]int64{}
 	}

@@ -109,7 +109,7 @@ func runSchedSurge(t *testing.T, seed int64, steps int) []shedEvent {
 			} else {
 				m = proto.Read{FH: 1, N: uint32(rng.Intn(4)) * 32 << 10}
 			}
-			shedded, millis := s.enqueue(c, m, sid)
+			shedded, millis := s.enqueue(c, m, sid, nil)
 			if shedded {
 				if ctl {
 					t.Fatalf("step %d (seed %d): control frame shed", step, seed)

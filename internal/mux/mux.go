@@ -24,10 +24,13 @@
 //     deterministic harnesses.
 //
 // Ownership rules: a Call started on a Conn must be finished with
-// exactly one Wait or Cancel, which is what releases its in-flight
-// slot. Reply frames belong to the Call once routed; pooled request
-// frames are released by Conn.Start itself (marshal → send → release,
-// per the transport ownership contract in DESIGN.md §6.2).
+// exactly one Wait, WaitFrame, or Cancel, which is what releases its
+// in-flight slot. Reply frames arrive pooled and belong to the Call
+// once routed: Wait recycles non-aliasing replies itself, WaitFrame
+// hands the frame to the caller to Release, and Cancel recycles a
+// routed reply it discards. Pooled request frames are released by
+// Conn.Start itself (marshal → send → release, per the transport
+// ownership contract in DESIGN.md §6.2).
 package mux
 
 import (
@@ -132,12 +135,13 @@ func (mc *Conn) Close() error {
 }
 
 // Call is one outstanding request. It must be finished with exactly
-// one Wait or Cancel, which releases its slot in the in-flight window.
+// one Wait, WaitFrame, or Cancel, which releases its slot in the
+// in-flight window.
 type Call struct {
 	conn   *Conn
 	sid    uint32
 	done   chan struct{} // closed when frame/err is set
-	frame  []byte
+	frame  *proto.Frame
 	err    error
 	slotMu sync.Mutex // guards slotFreed
 	freed  bool
@@ -200,23 +204,48 @@ func (mc *Conn) Call(m proto.Message, timeout time.Duration) (proto.Message, err
 // timeout elapses first the call fails with ErrTimeout — the stream is
 // abandoned (a late reply is discarded) but the connection and every
 // other stream keep working.
+//
+// When the decoded message does not alias the reply frame's bytes (see
+// proto.AliasesFrame), Wait releases the pooled frame itself and the
+// caller owns the message outright. For aliasing replies (Data, Write)
+// the frame stays alive for as long as the message is reachable and is
+// reclaimed by the GC; hot data paths that want pooled recycling use
+// WaitFrame instead.
 func (ca *Call) Wait(timeout time.Duration) (proto.Message, error) {
+	m, f, err := ca.WaitFrame(timeout)
+	if err != nil {
+		return nil, err
+	}
+	if !proto.AliasesFrame(m) {
+		f.Release()
+	}
+	return m, nil
+}
+
+// WaitFrame is Wait for hot paths: it additionally returns the pooled
+// reply frame, which the caller owns and must Release once every use of
+// the message — whose byte fields may alias the frame — is over.
+func (ca *Call) WaitFrame(timeout time.Duration) (proto.Message, *proto.Frame, error) {
 	select {
 	case <-ca.done:
 	case <-ca.conn.clock.After(timeout):
 		if ca.conn.abandon(ca) {
 			ca.release()
-			return nil, fmt.Errorf("%w after %v (stream %d)", ErrTimeout, timeout, ca.sid)
+			return nil, nil, fmt.Errorf("%w after %v (stream %d)", ErrTimeout, timeout, ca.sid)
 		}
 		// The reply raced the deadline and is already routed; take it.
 		<-ca.done
 	}
 	ca.release()
 	if ca.err != nil {
-		return nil, ca.err
+		return nil, nil, ca.err
 	}
-	m, _, err := proto.UnmarshalStream(ca.frame)
-	return m, err
+	m, _, err := proto.UnmarshalStream(ca.frame.Bytes())
+	if err != nil {
+		ca.frame.Release()
+		return nil, nil, err
+	}
+	return m, ca.frame, nil
 }
 
 // Done returns a channel closed once the reply (or the connection's
@@ -226,9 +255,17 @@ func (ca *Call) Done() <-chan struct{} { return ca.done }
 
 // Cancel abandons the call: its in-flight slot is released and a late
 // reply will be discarded. Cancel after a reply arrived simply drops
-// the reply. It is safe to call at most once, and not after Wait.
+// the reply and recycles its frame. It is safe to call at most once,
+// and not after Wait.
 func (ca *Call) Cancel() {
-	ca.conn.abandon(ca)
+	if !ca.conn.abandon(ca) {
+		// A reply already routed (or the conn failed the call); wait for
+		// the routing to finish so the frame can be recycled safely.
+		<-ca.done
+		if ca.frame != nil {
+			ca.frame.Release()
+		}
+	}
 	ca.release()
 }
 
@@ -273,14 +310,17 @@ func (mc *Conn) fail(err error) {
 
 // demux is the connection's receive loop: it routes each tagged reply
 // to its waiting call and fails everything when the transport dies.
+// Replies arrive in pooled frames (transport.RecvFrame); ownership
+// passes to the routed Call, and late replies to expired or cancelled
+// streams are released here.
 func (mc *Conn) demux() {
 	for {
-		frame, err := mc.c.Recv()
+		f, err := transport.RecvFrame(mc.c)
 		if err != nil {
 			mc.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 			return
 		}
-		sid := proto.StreamID(frame)
+		sid := proto.StreamID(f.Bytes())
 		mc.mu.Lock()
 		ca, ok := mc.streams[sid]
 		if ok {
@@ -288,9 +328,10 @@ func (mc *Conn) demux() {
 		}
 		mc.mu.Unlock()
 		if !ok {
-			continue // late reply to an expired or cancelled stream
+			f.Release() // late reply to an expired or cancelled stream
+			continue
 		}
-		ca.frame = frame
+		ca.frame = f
 		close(ca.done)
 	}
 }

@@ -134,14 +134,26 @@ func (c SchedConfig) withDefaults() SchedConfig {
 	return c
 }
 
-// job is one admitted request waiting for a worker.
+// job is one admitted request waiting for a worker. It carries the
+// pooled frame the request decoded from (m's byte fields may alias it);
+// whoever retires the job — worker after dispatch, or a discard site —
+// releases the frame.
 type job struct {
 	c    *schedClient
 	m    proto.Message
 	sid  uint32
+	f    *proto.Frame
 	enq  time.Time
 	cost int32
 	lane Lane
+}
+
+// releaseFrame recycles the job's request frame, if it has one (jobs
+// built by tests bypass the frame path).
+func (j *job) releaseFrame() {
+	if j.f != nil {
+		j.f.Release()
+	}
 }
 
 // jobRing is a growable FIFO of jobs backed by a circular buffer, so
@@ -264,13 +276,15 @@ func (s *Scheduler) Close() {
 	}
 	s.closed = true
 	for s.ctl.len() > 0 {
-		s.ctl.pop()
+		j := s.ctl.pop()
+		j.releaseFrame()
 	}
 	for s.head != nil {
 		c := s.head
 		s.queued -= c.q.len()
 		for c.q.len() > 0 {
-			c.q.pop()
+			j := c.q.pop()
+			j.releaseFrame()
 		}
 		s.deactivateLocked(c)
 	}
@@ -295,7 +309,8 @@ func (s *Scheduler) unregister(c *schedClient) {
 	c.gone = true
 	s.queued -= c.q.len()
 	for c.q.len() > 0 {
-		c.q.pop()
+		j := c.q.pop()
+		j.releaseFrame()
 	}
 	if c.active {
 		s.deactivateLocked(c)
@@ -308,9 +323,10 @@ func (s *Scheduler) unregister(c *schedClient) {
 }
 
 // enqueue admits one decoded request, or sheds it: shed=true means the
-// caller must answer RetryAfter{millis} itself and the handler will
-// never see the message.
-func (s *Scheduler) enqueue(c *schedClient, m proto.Message, sid uint32) (shedded bool, millis uint32) {
+// caller must answer RetryAfter{millis} itself, release the request
+// frame, and the handler will never see the message. On admission the
+// scheduler takes ownership of f (released when the job retires).
+func (s *Scheduler) enqueue(c *schedClient, m proto.Message, sid uint32, f *proto.Frame) (shedded bool, millis uint32) {
 	lane := LaneOf(m)
 	now := s.cfg.Clock.Now()
 	s.mu.Lock()
@@ -320,7 +336,7 @@ func (s *Scheduler) enqueue(c *schedClient, m proto.Message, sid uint32) (shedde
 		s.mu.Unlock()
 		return true, millis
 	}
-	j := job{c: c, m: m, sid: sid, enq: now, lane: lane}
+	j := job{c: c, m: m, sid: sid, f: f, enq: now, lane: lane}
 	if lane == LaneControl {
 		s.ctl.push(j)
 	} else {
@@ -476,6 +492,7 @@ func (s *Scheduler) nextLocked() (j job, ok bool) {
 	for s.ctl.len() > 0 {
 		j = s.ctl.pop()
 		if j.c.gone { // connection died with control frames queued
+			j.releaseFrame()
 			continue
 		}
 		s.startLocked(&j)
@@ -582,6 +599,7 @@ func (s *Scheduler) worker() {
 		s.wait[j.lane].Observe(s.cfg.Clock.Now().Sub(j.enq))
 		s.dispatch(j)
 		s.finish(j)
+		j.releaseFrame()
 	}
 }
 

@@ -36,11 +36,11 @@ func TestSchedControlLanePreemptsData(t *testing.T) {
 	s := stepSched(SchedConfig{Workers: 4, QueueLimit: 1000})
 	c := s.register(nil, nil, ServeOptions{})
 	for i := 0; i < 100; i++ {
-		if shedded, _ := s.enqueue(c, proto.Read{FH: 1, N: 64 << 10}, uint32(i)); shedded {
+		if shedded, _ := s.enqueue(c, proto.Read{FH: 1, N: 64 << 10}, uint32(i), nil); shedded {
 			t.Fatalf("data enqueue %d shed below QueueLimit", i)
 		}
 	}
-	if shedded, _ := s.enqueue(c, proto.Ping{}, 999); shedded {
+	if shedded, _ := s.enqueue(c, proto.Ping{}, 999, nil); shedded {
 		t.Fatal("control frame shed")
 	}
 	j, ok := stepNext(s)
@@ -62,28 +62,28 @@ func TestSchedShedsBeyondQueueLimit(t *testing.T) {
 	s := stepSched(SchedConfig{QueueLimit: 4, RetryAfterMillis: 100})
 	c := s.register(nil, nil, ServeOptions{})
 	for i := 0; i < 4; i++ {
-		if shedded, _ := s.enqueue(c, proto.Locate{Path: "/f"}, uint32(i)); shedded {
+		if shedded, _ := s.enqueue(c, proto.Locate{Path: "/f"}, uint32(i), nil); shedded {
 			t.Fatalf("enqueue %d shed below limit", i)
 		}
 	}
-	shedded, millis := s.enqueue(c, proto.Locate{Path: "/f"}, 4)
+	shedded, millis := s.enqueue(c, proto.Locate{Path: "/f"}, 4, nil)
 	if !shedded {
 		t.Fatal("5th data enqueue not shed at QueueLimit=4")
 	}
 	if millis < 50 || millis > 150 {
 		t.Fatalf("shed hint %d ms outside [base/2, 3·base/2] for base 100", millis)
 	}
-	if shedded, _ := s.enqueue(c, proto.Ping{}, 5); shedded {
+	if shedded, _ := s.enqueue(c, proto.Ping{}, 5, nil); shedded {
 		t.Fatal("control frame shed while data lane full")
 	}
 	// The guarantee slot: a client with nothing queued is admitted even
 	// at the limit, so the full queue starves its filler, not a sparse
 	// newcomer.
 	sparse := s.register(nil, nil, ServeOptions{})
-	if shedded, _ := s.enqueue(sparse, proto.Locate{Path: "/g"}, 6); shedded {
+	if shedded, _ := s.enqueue(sparse, proto.Locate{Path: "/g"}, 6, nil); shedded {
 		t.Fatal("sparse client's first request shed at full queue; guarantee slot broken")
 	}
-	if shedded, _ := s.enqueue(sparse, proto.Locate{Path: "/g"}, 7); !shedded {
+	if shedded, _ := s.enqueue(sparse, proto.Locate{Path: "/g"}, 7, nil); !shedded {
 		t.Fatal("sparse client's second request admitted past the limit")
 	}
 	if j, ok := stepNext(s); !ok || j.lane != LaneControl {
@@ -106,10 +106,10 @@ func TestSchedDRRSharesByCost(t *testing.T) {
 	big := s.register(nil, nil, ServeOptions{})
 	small := s.register(nil, nil, ServeOptions{})
 	for i := 0; i < 16; i++ {
-		s.enqueue(big, proto.Read{FH: 1, N: 128 << 10}, uint32(i)) // cost 9
+		s.enqueue(big, proto.Read{FH: 1, N: 128 << 10}, uint32(i), nil) // cost 9
 	}
 	for i := 0; i < 16; i++ {
-		s.enqueue(small, proto.Locate{Path: "/f"}, uint32(i)) // cost 1
+		s.enqueue(small, proto.Locate{Path: "/f"}, uint32(i), nil) // cost 1
 	}
 	// Drain the first 12 jobs; the small client must appear well before
 	// the big backlog is done.
@@ -135,7 +135,7 @@ func TestSchedUnregisterDropsQueuedAndDrains(t *testing.T) {
 	s := stepSched(SchedConfig{QueueLimit: 100})
 	c := s.register(nil, nil, ServeOptions{})
 	for i := 0; i < 5; i++ {
-		s.enqueue(c, proto.Locate{Path: "/f"}, uint32(i))
+		s.enqueue(c, proto.Locate{Path: "/f"}, uint32(i), nil)
 	}
 	j, ok := stepNext(s) // one job "running"
 	if !ok {
@@ -254,7 +254,7 @@ func TestSchedDispatchAllocsNothing(t *testing.T) {
 	var m proto.Message = proto.Read{FH: 7, Off: 0, N: 64 << 10}
 	// Warm the rings and histograms.
 	for i := 0; i < 32; i++ {
-		s.enqueue(c, m, 7)
+		s.enqueue(c, m, 7, nil)
 	}
 	for {
 		j, ok := stepNext(s)
@@ -264,7 +264,7 @@ func TestSchedDispatchAllocsNothing(t *testing.T) {
 		stepFinish(s, j)
 	}
 	avg := testing.AllocsPerRun(100, func() {
-		if shedded, _ := s.enqueue(c, m, 7); shedded {
+		if shedded, _ := s.enqueue(c, m, 7, nil); shedded {
 			t.Fatal("uncontended enqueue shed")
 		}
 		j, ok := stepNext(s)
@@ -287,7 +287,7 @@ func BenchmarkSchedDispatch(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.enqueue(c, m, 7)
+		s.enqueue(c, m, 7, nil)
 		j, _ := stepNext(s)
 		stepFinish(s, j)
 	}

@@ -13,6 +13,11 @@ import (
 // sends it as the stream-tagged reply; returning nil sends nothing —
 // either the request wants no reply, or the handler already replied
 // itself through the Responder (the single-copy Data path).
+//
+// Requests decode from pooled frames that the serve loop recycles as
+// soon as the handler returns: a handler must not retain m — or any
+// byte slice decoded from it (proto.Write.Bytes aliases the frame) —
+// past its own return. Copy what must outlive the call.
 type Handler func(m proto.Message, r Responder) proto.Message
 
 // ServeOptions tunes a responder-side dispatch loop.
@@ -36,9 +41,11 @@ type ServeOptions struct {
 	Sched *Scheduler
 }
 
-// Responder sends stream-tagged replies for one in-flight request; the
-// write lock it carries serializes concurrent workers onto the
-// connection.
+// Responder sends stream-tagged replies for one in-flight request.
+// Concurrent workers write straight to the connection — transport.Conn
+// Send is safe for any number of concurrent callers, and on the TCP
+// transport overlapping repliers coalesce into shared vectored-write
+// batches rather than queueing on a lock.
 type Responder struct {
 	st  *serveState
 	sid uint32
@@ -48,11 +55,8 @@ type Responder struct {
 // every reply must echo.
 func (r Responder) Stream() uint32 { return r.sid }
 
-// Send marshals m tagged with the request's stream and writes it out,
-// serialized against the connection's other workers.
+// Send marshals m tagged with the request's stream and writes it out.
 func (r Responder) Send(m proto.Message) error {
-	r.st.wmu.Lock()
-	defer r.st.wmu.Unlock()
 	return transport.SendMessageStream(r.st.conn, m, r.sid)
 }
 
@@ -61,9 +65,7 @@ func (r Responder) Send(m proto.Message) error {
 // the single-copy read path: the payload is marshaled straight into
 // the frame and never copied again.
 func (r Responder) SendFrame(f *proto.Frame) error {
-	r.st.wmu.Lock()
 	err := r.st.conn.Send(f.Bytes())
-	r.st.wmu.Unlock()
 	f.Release()
 	return err
 }
@@ -71,7 +73,6 @@ func (r Responder) SendFrame(f *proto.Frame) error {
 // serveState is the per-connection dispatch state shared by workers.
 type serveState struct {
 	conn transport.Conn
-	wmu  sync.Mutex
 }
 
 // Serve reads frames from conn and dispatches them to h until the
@@ -91,11 +92,12 @@ func Serve(conn transport.Conn, h Handler, opt ServeOptions) {
 	st := &serveState{conn: conn}
 	if opt.Workers <= 1 {
 		for {
-			m, sid, err := recvOne(conn, opt)
+			m, sid, f, err := recvOne(conn, opt)
 			if err != nil {
 				return
 			}
 			dispatch(h, m, Responder{st: st, sid: sid}, opt)
+			f.Release()
 		}
 	}
 
@@ -107,11 +109,11 @@ func Serve(conn transport.Conn, h Handler, opt ServeOptions) {
 		wg.Wait()
 	}()
 	for {
-		m, sid, err := recvOne(conn, opt)
+		m, sid, f, err := recvOne(conn, opt)
 		if err != nil {
 			return
 		}
-		j := job{m: m, sid: sid}
+		j := job{m: m, sid: sid, f: f}
 		if spawned < opt.Workers {
 			// Prefer an idle worker; grow the pool only when all are busy.
 			select {
@@ -125,6 +127,7 @@ func Serve(conn transport.Conn, h Handler, opt ServeOptions) {
 				defer wg.Done()
 				for j := range jobs {
 					dispatch(h, j.m, Responder{st: st, sid: j.sid}, opt)
+					j.releaseFrame()
 				}
 			}()
 		}
@@ -141,33 +144,35 @@ func serveSched(conn transport.Conn, h Handler, opt ServeOptions) {
 	c := opt.Sched.register(st, h, opt)
 	defer opt.Sched.unregister(c)
 	for {
-		m, sid, err := recvOne(conn, opt)
+		m, sid, f, err := recvOne(conn, opt)
 		if err != nil {
 			return
 		}
-		if shedded, millis := opt.Sched.enqueue(c, m, sid); shedded {
-			st.wmu.Lock()
+		if shedded, millis := opt.Sched.enqueue(c, m, sid, f); shedded {
+			f.Release()
 			// Best effort: if the conn is failing the reader sees it.
 			_ = transport.SendMessageStream(conn, proto.RetryAfter{Millis: millis}, sid)
-			st.wmu.Unlock()
 		}
 	}
 }
 
-// recvOne reads and decodes the next request frame.
-func recvOne(conn transport.Conn, opt ServeOptions) (proto.Message, uint32, error) {
-	frame, err := conn.Recv()
+// recvOne reads and decodes the next request frame. The returned frame
+// is pooled and owns the message's aliased bytes; the caller releases
+// it once the request has been fully handled.
+func recvOne(conn transport.Conn, opt ServeOptions) (proto.Message, uint32, *proto.Frame, error) {
+	f, err := transport.RecvFrame(conn)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	m, sid, err := proto.UnmarshalStream(frame)
+	m, sid, err := proto.UnmarshalStream(f.Bytes())
 	if err != nil {
+		f.Release()
 		if opt.OnError != nil {
 			opt.OnError(err)
 		}
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
-	return m, sid, nil
+	return m, sid, f, nil
 }
 
 // dispatch runs one request through the handler, tracing it and

@@ -56,11 +56,32 @@ func NewHandler(st AdminState) http.Handler {
 			w.Write([]byte(st.Registry.Dump()))
 			w.Write([]byte("\n"))
 		}
-		// The scheduler keeps its own counters (a registry is optional on
-		// data-only nodes), so its section is appended from the summary
-		// frame rather than the registry.
+		// The scheduler and wire layers keep their own counters (a
+		// registry is optional on data-only nodes), so their sections are
+		// appended from the summary frame rather than the registry.
 		if st.Collect != nil {
-			if s := st.Collect().Sched; s != nil {
+			f := st.Collect()
+			if wd := f.Wire; wd != nil {
+				fmt.Fprintf(w, "counter wire.writevs = %d\n", wd.Writevs)
+				fmt.Fprintf(w, "counter wire.frames_out = %d\n", wd.FramesOut)
+				fmt.Fprintf(w, "counter wire.bytes_out = %d\n", wd.BytesOut)
+				fmt.Fprintf(w, "counter wire.idle_flushes = %d\n", wd.IdleFlushes)
+				fmt.Fprintf(w, "counter wire.backlog_flushes = %d\n", wd.BacklogFlushes)
+				fmt.Fprintf(w, "counter wire.read_calls = %d\n", wd.ReadCalls)
+				fmt.Fprintf(w, "counter wire.frames_in = %d\n", wd.FramesIn)
+				fmt.Fprintf(w, "counter wire.bytes_in = %d\n", wd.BytesIn)
+				fmt.Fprintf(w, "gauge   wire.frames_per_writev = %.2f\n", wd.FramesPerWritev)
+				fmt.Fprintf(w, "gauge   wire.frames_per_read = %.2f\n", wd.FramesPerRead)
+				fmt.Fprintf(w, "hist    wire.batch_frames :")
+				labels := []string{"1", "2", "3-4", "5-8", "9-16", "17-32", "33-64", "65+"}
+				for i, n := range wd.BatchHist {
+					if i < len(labels) {
+						fmt.Fprintf(w, " %s=%d", labels[i], n)
+					}
+				}
+				fmt.Fprintln(w)
+			}
+			if s := f.Sched; s != nil {
 				fmt.Fprintf(w, "counter sched.disp_ctl = %d\n", s.DispCtl)
 				fmt.Fprintf(w, "counter sched.disp_data = %d\n", s.DispData)
 				fmt.Fprintf(w, "counter sched.shed = %d\n", s.Shed)

@@ -156,6 +156,29 @@ type NetSummary struct {
 	Dials      int64 `json:"dials"`
 }
 
+// WireSummary carries the TCP transport's syscall-amortization
+// counters: how well sends coalesce into vectored-write batches and how
+// many frames each read syscall yields. An operator judges the wire
+// path here — frames_per_writev near 1 under a pipelined load means
+// sends are arriving lock-step (no overlap to harvest); climbing means
+// group commit is batching them.
+type WireSummary struct {
+	Writevs         int64   `json:"writevs"`           // vectored write syscalls
+	FramesOut       int64   `json:"frames_out"`        // frames sent
+	BytesOut        int64   `json:"bytes_out"`         // bytes sent (incl. prefixes)
+	IdleFlushes     int64   `json:"idle_flushes"`      // batches begun on an idle wire
+	BacklogFlushes  int64   `json:"backlog_flushes"`   // batches drained behind a flush
+	FramesPerWritev float64 `json:"frames_per_writev"` // mean batch size
+	// BatchHist buckets flushed batch sizes: 1, 2, 3-4, 5-8, 9-16,
+	// 17-32, 33-64, 65+ frames.
+	BatchHist []int64 `json:"batch_hist,omitempty"`
+
+	ReadCalls     int64   `json:"read_calls"`      // read syscalls
+	FramesIn      int64   `json:"frames_in"`       // frames received
+	BytesIn       int64   `json:"bytes_in"`        // bytes received
+	FramesPerRead float64 `json:"frames_per_read"` // mean frames per read syscall
+}
+
 // OpSummary is one latency histogram rendered for the stream.
 type OpSummary struct {
 	Count  int64 `json:"n"`
@@ -183,6 +206,7 @@ type Frame struct {
 	PCache   *PCacheSummary       `json:"pcache,omitempty"`
 	Sched    *SchedSummary        `json:"sched,omitempty"`
 	Net      *NetSummary          `json:"net,omitempty"`
+	Wire     *WireSummary         `json:"wire,omitempty"`
 	Ops      map[string]OpSummary `json:"ops,omitempty"`
 	Counters map[string]int64     `json:"counters,omitempty"`
 }
@@ -288,6 +312,10 @@ func (f Frame) String() string {
 	}
 	if n := f.Net; n != nil {
 		fmt.Fprintf(&b, " net=%df/%dB", n.FramesSent, n.BytesSent)
+	}
+	if w := f.Wire; w != nil {
+		fmt.Fprintf(&b, " wire=%dwv(%.2ff/wv) in=%drd(%.2ff/rd)",
+			w.Writevs, w.FramesPerWritev, w.ReadCalls, w.FramesPerRead)
 	}
 	if op, ok := f.Ops["resolve.latency"]; ok {
 		fmt.Fprintf(&b, " resolve{n=%d p50=%dµs p99=%dµs}", op.Count, op.P50US, op.P99US)

@@ -62,6 +62,7 @@ func NewChanSink(depth int) *ChanSink {
 	return &ChanSink{C: make(chan []byte, depth)}
 }
 
+// Emit queues frame on C, dropping it when the consumer lags.
 func (s *ChanSink) Emit(frame []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -75,6 +76,7 @@ func (s *ChanSink) Emit(frame []byte) error {
 	return nil
 }
 
+// Close marks the sink closed and closes C; subsequent Emits error.
 func (s *ChanSink) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

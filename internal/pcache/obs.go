@@ -162,6 +162,9 @@ func (p *Proxy) Frame() obs.Frame {
 		ns := cn.Stats()
 		f.Net = &obs.NetSummary{FramesSent: ns.FramesSent, BytesSent: ns.BytesSent, Dials: ns.Dials}
 	}
+	if w, ok := transport.WireOf(p.cfg.Net); ok {
+		f.Wire = w.Summary()
+	}
 	return f
 }
 

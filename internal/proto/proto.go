@@ -630,6 +630,55 @@ func (f *Frame) Release() {
 	framePool.Put(f)
 }
 
+// GetFrame returns a pooled frame sized to hold n bytes, for receive
+// paths that fill it from the wire. The contents are undefined; the
+// caller owns the frame and must Release it when done. Frames up to
+// maxPooledFrame recycle through the pool, so a warmed receive loop
+// allocates nothing.
+func GetFrame(n int) *Frame {
+	f := framePool.Get().(*Frame)
+	if cap(f.b) < n {
+		f.b = make([]byte, n)
+	} else {
+		f.b = f.b[:n]
+	}
+	return f
+}
+
+// CopyFrame copies b into a pooled frame the caller owns — the pooled
+// replacement for make-and-copy on transports that must retain a frame
+// past Send's return (InProc's peer queue).
+func CopyFrame(b []byte) *Frame {
+	f := framePool.Get().(*Frame)
+	f.b = append(f.b[:0], b...)
+	return f
+}
+
+// WrapFrame adopts b as a frame's backing buffer without copying. It
+// lets pooled-frame consumers accept bytes from an allocating source
+// (a transport without a pooled receive path); Release will recycle b
+// into the pool, so the caller must own b outright.
+func WrapFrame(b []byte) *Frame {
+	f := framePool.Get().(*Frame)
+	f.b = b
+	return f
+}
+
+// AliasesFrame reports whether a decoded message's byte fields alias
+// the frame it was decoded from — true for Data and Write, whose
+// payloads are zero-copy views into the frame (rawBytes32 and bytes
+// aliasing above). The frame backing such a message must outlive every
+// use of the message, and must not be Released before then; messages of
+// every other kind copy what they keep (string conversion copies), so
+// their frames may be released immediately after decode.
+func AliasesFrame(m Message) bool {
+	switch m.(type) {
+	case Data, Write:
+		return true
+	}
+	return false
+}
+
 // MarshalFrame encodes m on stream 0 into a pooled frame; the caller
 // must call Release on the result once the bytes have been handed to a
 // transport.

@@ -1,6 +1,10 @@
 package transport
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"scalla/internal/proto"
+)
 
 // NetStats is a snapshot of a CountingNetwork's counters. The daemons'
 // summary-monitoring stream reports it; the benchmark harness uses it
@@ -35,6 +39,11 @@ func (n *CountingNetwork) Stats() NetStats {
 		Dials:      n.dials.Load(),
 	}
 }
+
+// Unwrap returns the wrapped Network, so observability code can reach
+// capability interfaces (e.g. *TCPNet wire counters) through the
+// counting layer.
+func (n *CountingNetwork) Unwrap() Network { return n.inner }
 
 // Reset zeroes the counters.
 func (n *CountingNetwork) Reset() {
@@ -92,4 +101,10 @@ func (cc *countingConn) Send(frame []byte) error {
 		cc.n.bytesSent.Add(int64(len(frame)))
 	}
 	return err
+}
+
+// RecvFrame forwards the wrapped connection's pooled receive path, so
+// counting does not cost receive loops their zero-alloc fast path.
+func (cc *countingConn) RecvFrame() (*proto.Frame, error) {
+	return RecvFrame(cc.Conn)
 }

@@ -15,6 +15,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -23,6 +24,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"scalla/internal/proto"
 )
 
 // MaxFrame is the largest frame either implementation will carry.
@@ -34,9 +37,12 @@ const MaxFrame = 16 << 20
 // listener.
 var ErrClosed = errors.New("transport: closed")
 
-// Conn is a bidirectional, frame-oriented connection. Send and Recv are
-// each safe for one concurrent caller; distinct goroutines may send and
-// receive simultaneously.
+// Conn is a bidirectional, frame-oriented connection. Send is safe for
+// any number of concurrent callers — implementations either serialize
+// writers internally or coalesce their frames into shared write batches
+// (the TCP conn's group-commit writer) — while Recv is safe for one
+// concurrent caller. Distinct goroutines may send and receive
+// simultaneously.
 type Conn interface {
 	// Send transmits one frame. Send must finish with the frame slice
 	// before returning (write it out or copy it): callers such as
@@ -45,12 +51,40 @@ type Conn interface {
 	// must copy them first.
 	Send(frame []byte) error
 	// Recv blocks for the next frame. It returns io.EOF after the peer
-	// closes.
+	// closes. The returned slice is freshly allocated and owned by the
+	// caller outright; hot receive loops should prefer RecvFrame, which
+	// recycles buffers through the proto frame pool.
 	Recv() ([]byte, error)
 	// Close tears the connection down; pending Recvs unblock.
 	Close() error
 	// RemoteAddr names the peer, for logging and redirection.
 	RemoteAddr() string
+}
+
+// FrameReceiver is the pooled receive path a Conn may optionally
+// implement. RecvFrame returns the next frame in a pooled buffer that
+// the caller owns and must Release once every use of the frame — and of
+// anything decoded from it whose byte fields alias it (see
+// proto.AliasesFrame) — is over. Like Recv, it is safe for one
+// concurrent caller, and the two must not be mixed on a live
+// connection's receive side.
+type FrameReceiver interface {
+	RecvFrame() (*proto.Frame, error)
+}
+
+// RecvFrame receives the next frame from c through its pooled receive
+// path when it has one, falling back to adopting the plain Recv
+// allocation otherwise. Either way the caller owns the returned frame
+// and must Release it.
+func RecvFrame(c Conn) (*proto.Frame, error) {
+	if fr, ok := c.(FrameReceiver); ok {
+		return fr.RecvFrame()
+	}
+	b, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return proto.WrapFrame(b), nil
 }
 
 // Listener accepts inbound connections.
@@ -70,90 +104,287 @@ type Network interface {
 
 // ------------------------------------------------------------------ TCP
 
-type tcpNetwork struct{}
+// TCPNet is the production Network backed by the net package. Every
+// connection it creates shares one WireStats block, so an operator (or
+// the bench harness) can read syscall-amortization effectiveness —
+// frames per writev batch, flush reasons, frames per read call — off
+// the live network.
+type TCPNet struct {
+	stats WireStats
+}
 
 // TCP returns the production Network backed by the net package.
 // Listen("host:0") picks a free port; Listener.Addr reports it.
-func TCP() Network { return tcpNetwork{} }
+func TCP() *TCPNet { return &TCPNet{} }
 
-func (tcpNetwork) Listen(addr string) (Listener, error) {
+// Wire snapshots the network's batching counters.
+func (n *TCPNet) Wire() WireSnapshot { return n.stats.Snapshot() }
+
+// Listen binds a real TCP listener on addr.
+func (n *TCPNet) Listen(addr string) (Listener, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &tcpListener{l: l}, nil
+	return &tcpListener{l: l, stats: &n.stats}, nil
 }
 
-func (tcpNetwork) Dial(addr string) (Conn, error) {
+// Dial opens a real TCP connection to addr.
+func (n *TCPNet) Dial(addr string) (Conn, error) {
 	c, err := net.DialTimeout("tcp", addr, 10*time.Second)
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, &n.stats), nil
 }
 
-type tcpListener struct{ l net.Listener }
+type tcpListener struct {
+	l     net.Listener
+	stats *WireStats
+}
 
 func (t *tcpListener) Accept() (Conn, error) {
 	c, err := t.l.Accept()
 	if err != nil {
 		return nil, err
 	}
-	return newTCPConn(c), nil
+	return newTCPConn(c, t.stats), nil
 }
 
 func (t *tcpListener) Close() error { return t.l.Close() }
 func (t *tcpListener) Addr() string { return t.l.Addr().String() }
 
-type tcpConn struct {
-	c    net.Conn
-	rmu  sync.Mutex
-	wmu  sync.Mutex
-	rbuf []byte
+// recvBufSize is the buffered reader's window: one read syscall slurps
+// up to this many bytes, so a burst of small frames (Have floods,
+// pipelined acks) decodes out of a single kernel crossing. Reads larger
+// than the buffer pass through bufio directly.
+const recvBufSize = 64 << 10
+
+// wbatch is one group-commit write batch: the frames (with their length
+// prefixes) queued by concurrent senders that will leave in a single
+// vectored write. Every sender whose frame joined a batch blocks until
+// the batch is on the wire — the Send ownership contract — so bufs may
+// alias caller frames without copying.
+type wbatch struct {
+	bufs  net.Buffers
+	hdrs  []*[4]byte // length prefixes; stable arrays from the freelist
+	bytes int
+	done  chan struct{} // closed once the batch is written (or failed)
+	err   error
 }
 
-func newTCPConn(c net.Conn) *tcpConn {
-	if tc, ok := c.(*net.TCPConn); ok {
+// tcpConn carries frames over one socket with a 4-byte length prefix,
+// amortizing syscalls in both directions: sends coalesce into vectored
+// write batches (group commit — an idle wire flushes immediately, and
+// frames arriving during a flush drain together in the next one), and
+// receives decode many frames per read syscall out of a buffered
+// reader, into pooled frames on the RecvFrame path.
+type tcpConn struct {
+	c      net.Conn
+	stats  *WireStats
+	writev bool // *net.TCPConn: net.Buffers.WriteTo is one writev per batch
+
+	rmu  sync.Mutex
+	br   *bufio.Reader
+	rhdr [4]byte // persistent header scratch; keeps ReadFull's arg off the heap
+
+	wmu      sync.Mutex
+	werr     error      // sticky write error; the stream is corrupt past it
+	flushing bool       // a leader goroutine is draining batches
+	batch    *wbatch    // frames accumulated for the next flush, nil if none
+	hdrFree  []*[4]byte // recycled length-prefix arrays
+}
+
+func newTCPConn(c net.Conn, stats *WireStats) *tcpConn {
+	tc, isTCP := c.(*net.TCPConn)
+	if isTCP {
 		tc.SetNoDelay(true) // latency matters more than throughput here
 	}
-	return &tcpConn{c: c}
+	return &tcpConn{
+		c:      c,
+		stats:  stats,
+		writev: isTCP,
+		br:     bufio.NewReaderSize(statReader{c: c, stats: stats}, recvBufSize),
+	}
 }
 
+// Send queues the frame on the connection's current write batch and
+// blocks until that batch is on the wire. The first sender onto an idle
+// wire becomes the flush leader and writes immediately — lock-step
+// latency never waits — while senders arriving during an in-flight
+// write coalesce into the next batch, which the leader drains in one
+// vectored write before handing the wire back.
 func (t *tcpConn) Send(frame []byte) error {
 	if len(frame) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(frame))
 	}
 	t.wmu.Lock()
-	defer t.wmu.Unlock()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(frame)))
-	if _, err := t.c.Write(hdr[:]); err != nil {
+	if t.werr != nil {
+		t.wmu.Unlock()
+		return t.werr
+	}
+	h := t.getHdrLocked()
+	binary.BigEndian.PutUint32(h[:], uint32(len(frame)))
+	b := t.batch
+	if b == nil {
+		b = &wbatch{done: make(chan struct{})}
+		t.batch = b
+	}
+	b.bufs = append(b.bufs, h[:], frame)
+	b.hdrs = append(b.hdrs, h)
+	b.bytes += len(frame) + 4
+	if t.flushing {
+		// A leader is mid-write and will drain this batch next; the
+		// frame must be on the wire before Send returns, so wait for it.
+		t.wmu.Unlock()
+		<-b.done
+		return b.err
+	}
+	t.flushing = true
+	t.wmu.Unlock()
+	// The group-commit window: one scheduler yield before draining, so
+	// senders that are already runnable can append to the batch and ride
+	// this flush. On an idle wire with no competing work Gosched returns
+	// immediately — this is a yield, not a Nagle-style timed delay — and
+	// it is what lets coalescing happen even when a single CPU never
+	// preempts the leader mid-writev.
+	runtime.Gosched()
+	t.wmu.Lock()
+	backlog := false
+	for t.batch != nil && t.werr == nil {
+		cur := t.batch
+		t.batch = nil
+		t.wmu.Unlock()
+		err := t.writeBatch(cur.bufs)
+		t.wmu.Lock()
+		t.stats.recordFlush(len(cur.hdrs), cur.bytes, backlog)
+		backlog = true
+		if err != nil {
+			// A partial batch write leaves the stream misaligned; every
+			// later Send must fail rather than interleave garbage.
+			t.werr = err
+		}
+		cur.err = err
+		t.hdrFree = append(t.hdrFree, cur.hdrs...)
+		close(cur.done)
+	}
+	if t.werr != nil {
+		// Fail any batch queued behind the write that broke the stream.
+		if p := t.batch; p != nil {
+			t.batch = nil
+			p.err = t.werr
+			t.hdrFree = append(t.hdrFree, p.hdrs...)
+			close(p.done)
+		}
+	}
+	t.flushing = false
+	t.wmu.Unlock()
+	// The leader's own frame was in the first batch it flushed.
+	<-b.done
+	return b.err
+}
+
+// getHdrLocked pops a length-prefix array off the freelist. The arrays
+// must be individually stable — batch iovecs alias them until the flush
+// completes — which is why this is a freelist of pointers, not a slab.
+func (t *tcpConn) getHdrLocked() *[4]byte {
+	if n := len(t.hdrFree); n > 0 {
+		h := t.hdrFree[n-1]
+		t.hdrFree = t.hdrFree[:n-1]
+		return h
+	}
+	return new([4]byte)
+}
+
+// writeBatch puts one batch on the wire. Real sockets take the
+// net.Buffers fast path — a single writev per batch, with the runtime
+// handling IOV_MAX and partial writes. Other writers (test shims,
+// wrappers) get a per-buffer loop that tolerates contract-violating
+// short writes.
+func (t *tcpConn) writeBatch(bufs net.Buffers) error {
+	if t.writev {
+		_, err := bufs.WriteTo(t.c)
 		return err
 	}
-	_, err := t.c.Write(frame)
-	return err
+	for _, b := range bufs {
+		for len(b) > 0 {
+			n, err := t.c.Write(b)
+			if err != nil {
+				return err
+			}
+			if n <= 0 {
+				return io.ErrNoProgress
+			}
+			b = b[n:]
+		}
+	}
+	return nil
+}
+
+// readFrameSize reads the next frame's length prefix. An oversized
+// header is protocol-fatal: nothing after it can be framed, so the
+// connection is closed rather than left misaligned for the next Recv.
+func (t *tcpConn) readFrameSize() (int, error) {
+	if _, err := io.ReadFull(t.br, t.rhdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(t.rhdr[:])
+	if n > MaxFrame {
+		t.c.Close()
+		return 0, fmt.Errorf("transport: oversized frame header %d", n)
+	}
+	return int(n), nil
 }
 
 func (t *tcpConn) Recv() ([]byte, error) {
 	t.rmu.Lock()
 	defer t.rmu.Unlock()
-	var hdr [4]byte
-	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
+	n, err := t.readFrameSize()
+	if err != nil {
 		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, fmt.Errorf("transport: oversized frame header %d", n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(t.c, buf); err != nil {
+	if _, err := io.ReadFull(t.br, buf); err != nil {
 		return nil, err
 	}
+	t.stats.recordFrameIn()
 	return buf, nil
+}
+
+// RecvFrame is the pooled receive path: the frame decodes into a
+// recycled buffer, so a warmed receive loop allocates nothing. The
+// caller owns the frame per the FrameReceiver contract.
+func (t *tcpConn) RecvFrame() (*proto.Frame, error) {
+	t.rmu.Lock()
+	defer t.rmu.Unlock()
+	n, err := t.readFrameSize()
+	if err != nil {
+		return nil, err
+	}
+	f := proto.GetFrame(n)
+	if _, err := io.ReadFull(t.br, f.Bytes()); err != nil {
+		f.Release()
+		return nil, err
+	}
+	t.stats.recordFrameIn()
+	return f, nil
 }
 
 func (t *tcpConn) Close() error       { return t.c.Close() }
 func (t *tcpConn) RemoteAddr() string { return t.c.RemoteAddr().String() }
+
+// statReader counts read syscalls and bytes for the wire stats as the
+// buffered reader refills.
+type statReader struct {
+	c     net.Conn
+	stats *WireStats
+}
+
+func (r statReader) Read(p []byte) (int, error) {
+	n, err := r.c.Read(p)
+	r.stats.recordRead(n)
+	return n, err
+}
 
 // --------------------------------------------------------------- InProc
 
@@ -280,7 +511,7 @@ func (l *inprocListener) Close() error {
 func (l *inprocListener) Addr() string { return l.addr }
 
 type frame struct {
-	data    []byte
+	f       *proto.Frame
 	readyAt time.Time // latency emulation: not deliverable before this
 }
 
@@ -297,9 +528,10 @@ func (c *inprocConn) Send(b []byte) error {
 	if len(b) > MaxFrame {
 		return fmt.Errorf("transport: frame of %d bytes exceeds limit", len(b))
 	}
-	cp := make([]byte, len(b))
-	copy(cp, b)
-	f := frame{data: cp}
+	// Send must not retain the caller's slice after returning, so the
+	// in-flight copy lives in a pooled frame; the receive side recycles
+	// it (RecvFrame) or hands it to the GC (plain Recv).
+	f := frame{f: proto.CopyFrame(b)}
 	if c.lat > 0 {
 		f.readyAt = time.Now().Add(c.lat)
 	}
@@ -307,11 +539,14 @@ func (c *inprocConn) Send(b []byte) error {
 	case c.send <- f:
 		return nil
 	case <-c.closed:
+		f.f.Release()
 		return ErrClosed
 	}
 }
 
-func (c *inprocConn) Recv() ([]byte, error) {
+// recvFrame pulls the next in-flight frame, honoring the emulated link
+// latency. The caller owns the returned frame.
+func (c *inprocConn) recvFrame() (*proto.Frame, error) {
 	select {
 	case f := <-c.recv:
 		if !f.readyAt.IsZero() {
@@ -330,17 +565,32 @@ func (c *inprocConn) Recv() ([]byte, error) {
 				}
 			}
 		}
-		return f.data, nil
+		return f.f, nil
 	case <-c.closed:
 		// Drain anything already queued before reporting EOF, so a
 		// close immediately after a send does not lose the frame.
 		select {
 		case f := <-c.recv:
-			return f.data, nil
+			return f.f, nil
 		default:
 		}
 		return nil, io.EOF
 	}
+}
+
+func (c *inprocConn) Recv() ([]byte, error) {
+	f, err := c.recvFrame()
+	if err != nil {
+		return nil, err
+	}
+	// Plain Recv hands the bytes to the caller outright, so the buffer
+	// leaves the pool for good; pooled receive loops use RecvFrame.
+	return f.Bytes(), nil
+}
+
+// RecvFrame is the pooled receive path; the caller owns the frame.
+func (c *inprocConn) RecvFrame() (*proto.Frame, error) {
+	return c.recvFrame()
 }
 
 func (c *inprocConn) Close() error {
